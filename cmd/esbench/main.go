@@ -1,0 +1,129 @@
+// Command esbench reproduces the paper's evaluation: the per-topology
+// allreduce latencies of section 5, the data-collection overhead of
+// section 6.1, Tables 1-3, and the spanning-tree scalability series of
+// sections 6.2-6.3. Each row prints the measured overhead and gather
+// rates next to the paper's reported figures.
+//
+// Usage:
+//
+//	esbench [-full] [-experiment all|sec5|sec61|table1|table2|table3|scalability]
+//	        [-repeats N] [-markdown]
+//
+// The default quick mode scales host counts and iterations down so the
+// whole suite completes in minutes; -full uses the paper's host counts.
+// Everything executes under the discrete-event virtual clock, so results
+// are exact and machine-independent.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"eventspace/internal/bench"
+)
+
+func main() {
+	full := flag.Bool("full", false, "use the paper's full host counts and iteration budgets")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, sec5, sec61, table1, table2, table3, scalability")
+	repeats := flag.Int("repeats", 0, "repetitions per measurement (0 = preset default)")
+	markdown := flag.Bool("markdown", false, "emit rows as a markdown table (for EXPERIMENTS.md)")
+	flag.Parse()
+
+	opts := bench.QuickOptions()
+	if *full {
+		opts = bench.DefaultOptions()
+	}
+	if *repeats > 0 {
+		opts.Repeats = *repeats
+	}
+
+	type experimentFn struct {
+		name  string
+		title string
+		run   func(bench.Options) ([]bench.Row, error)
+	}
+	suite := []experimentFn{
+		{"sec5", "Section 5 — average time per allreduce", bench.Section5Topology},
+		{"sec61", "Section 6.1 — data collection overhead", bench.Section61Collection},
+		{"table1", "Table 1 — load balance monitor, single event scope", bench.Table1},
+		{"table2", "Table 2 — load balance monitor, distributed analysis", bench.Table2},
+		{"table3", "Table 3 — statistics monitor overhead and gather rates", bench.Table3},
+		{"scalability", "Sections 6.2/6.3 — monitoring 1, 2 and 4 spanning trees", func(o bench.Options) ([]bench.Row, error) {
+			rows, err := bench.ScalabilityTrees(o, bench.LBDistributed)
+			if err != nil {
+				return nil, err
+			}
+			more, err := bench.ScalabilityTrees(o, bench.Statsm)
+			if err != nil {
+				return nil, err
+			}
+			return append(rows, more...), nil
+		}},
+	}
+
+	ran := false
+	start := time.Now()
+	for _, e := range suite {
+		if *experiment != "all" && *experiment != e.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("== %s ==\n", e.title)
+		rows, err := e.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "esbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		if *markdown {
+			printMarkdown(rows)
+		} else {
+			for _, r := range rows {
+				if r.Table == "sec5" {
+					fmt.Printf("  %-30s per allreduce %-12v [paper: %s]\n", r.Config, r.PerOp.Round(time.Microsecond), r.Paper)
+					continue
+				}
+				fmt.Printf("  %s\n", r)
+			}
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "esbench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+	fmt.Printf("completed in %v (mode: %s, repeats: %d)\n",
+		time.Since(start).Round(time.Millisecond), mode(*full), opts.Repeats)
+}
+
+func mode(full bool) string {
+	if full {
+		return "full"
+	}
+	return "quick"
+}
+
+func printMarkdown(rows []bench.Row) {
+	fmt.Println("| Configuration | Measured overhead | Measured rates | Paper |")
+	fmt.Println("|---|---|---|---|")
+	for _, r := range rows {
+		var rates []string
+		if r.Table == "sec5" {
+			rates = append(rates, fmt.Sprintf("per op %v", r.PerOp.Round(time.Microsecond)))
+		}
+		if r.GatherRate > 0 {
+			rates = append(rates, "gather "+bench.FormatRate(r.GatherRate))
+		}
+		if r.WrapperGatherRate > 0 {
+			rates = append(rates, "wrapper "+bench.FormatRate(r.WrapperGatherRate),
+				"thread "+bench.FormatRate(r.ThreadGatherRate))
+		}
+		overhead := bench.FormatOverhead(r.Overhead)
+		if r.Discarded {
+			overhead += " (tuples discarded)"
+		}
+		fmt.Printf("| %s | %s | %s | %s |\n", r.Config, overhead, strings.Join(rates, ", "), r.Paper)
+	}
+}

@@ -1,0 +1,127 @@
+// Package eventspace is a Go reproduction of the EventSpace system from
+// "Low Overhead High Performance Runtime Monitoring of Collective
+// Communication" (Bongo, Anshus, Bjørndalen — ICPP 2005).
+//
+// EventSpace monitors collective communication from inside the
+// communication system: event collectors record 28-byte trace tuples into
+// bounded in-memory buffers on every host, and monitors pull, reduce and
+// gather those tuples through configurable event scopes — collective
+// communication structures of their own — analysing them on the fly with
+// analysis threads coscheduled with the application.
+//
+// The package is a façade over the implementation packages:
+//
+//   - internal/pastset — the PastSet structured shared memory (bounded
+//     tuple buffers with per-reader cursors);
+//   - internal/paths — the PATHS communication system (wrappers, paths,
+//     allreduce spanning trees, remote stubs, gather/scatter, all-to-all);
+//   - internal/vnet — the virtual cluster testbed (hosts with CPU slots,
+//     links, gateways, a real-TCP transport for the wire format);
+//   - internal/wantrace — the Longcut WAN emulator's delay model;
+//   - internal/vclock — the discrete-event virtual clock that makes
+//     experiments exact, deterministic and fast;
+//   - internal/collect, internal/escope, internal/analysis,
+//     internal/cosched, internal/monitor — EventSpace itself;
+//   - internal/cluster — the paper's testbed and tree generators;
+//   - internal/bench — the experiment harness reproducing every table
+//     and figure of the evaluation.
+//
+// # Quick start
+//
+//	err := eventspace.RunVirtual(func() error {
+//	    sys, _ := eventspace.New(eventspace.SingleTin(8), eventspace.CoschedAfterUnblock)
+//	    defer sys.Close()
+//	    tree, _ := sys.BuildTree(eventspace.TreeSpec{
+//	        Name: "T", Fanout: 8, ThreadsPerHost: 1, Instrument: true,
+//	    })
+//	    lb, _ := sys.AttachLoadBalance(tree, eventspace.Distributed, eventspace.DefaultMonitorConfig())
+//	    sys.RunWorkload(eventspace.Workload{Trees: []*eventspace.Tree{tree}, Iterations: 1000})
+//	    fmt.Println(lb.Weighted().Counts(tree.Nodes[0].Name))
+//	    return nil
+//	})
+//
+// See the examples directory for complete programs and EXPERIMENTS.md for
+// the paper-versus-measured results.
+package eventspace
+
+import (
+	"eventspace/internal/cluster"
+	"eventspace/internal/core"
+	"eventspace/internal/cosched"
+	"eventspace/internal/monitor"
+)
+
+// Core façade types.
+type (
+	// System is one EventSpace instance over a virtual testbed.
+	System = core.System
+	// Workload drives application threads over one or more trees.
+	Workload = core.Workload
+
+	// TestbedSpec describes the virtual testbed (clusters, sites, WAN).
+	TestbedSpec = cluster.TestbedSpec
+	// ClusterSpec places hosts of one class at a site.
+	ClusterSpec = cluster.ClusterSpec
+	// TreeSpec describes a collective spanning tree.
+	TreeSpec = cluster.TreeSpec
+	// Tree is a built spanning tree with its instrumentation.
+	Tree = cluster.Tree
+	// Testbed is the built virtual testbed.
+	Testbed = cluster.Testbed
+
+	// MonitorConfig tunes a monitor (helpers, pacing, coscheduling).
+	MonitorConfig = monitor.Config
+	// LoadBalance is the load-balance monitor (figure 3).
+	LoadBalance = monitor.LoadBalance
+	// Statsm is the statistics monitor (figure 4).
+	Statsm = monitor.Statsm
+	// WeightedTree is the front-end last-arrival state.
+	WeightedTree = monitor.WeightedTree
+	// AnalysisTree is the front-end statistics state.
+	AnalysisTree = monitor.AnalysisTree
+	// LoadBalanceMode selects single-scope or distributed analysis.
+	LoadBalanceMode = monitor.LoadBalanceMode
+
+	// Strategy selects the analysis-thread coscheduling strategy.
+	Strategy = cosched.Strategy
+)
+
+// Load-balance monitor modes.
+const (
+	SingleScope = monitor.SingleScope
+	Distributed = monitor.Distributed
+)
+
+// Coscheduling strategies (section 4.1).
+const (
+	CoschedNone         = cosched.None
+	CoschedAfterSend    = cosched.AfterSend    // strategy 1
+	CoschedAfterUnblock = cosched.AfterUnblock // strategy 2
+)
+
+// New builds a System over the given testbed specification.
+func New(spec TestbedSpec, strategy Strategy) (*System, error) {
+	return core.New(spec, strategy)
+}
+
+// RunVirtual executes fn under the discrete-event virtual clock: modelled
+// delays cost no real time and results are exact and deterministic.
+func RunVirtual(fn func() error) error { return core.RunVirtual(fn) }
+
+// DefaultMonitorConfig returns the configuration the paper converged on:
+// parallel gathering, coscheduling strategy 2, TCP statistics computed at
+// the destination host.
+func DefaultMonitorConfig() MonitorConfig { return monitor.DefaultConfig() }
+
+// Standard topologies from the paper's evaluation (section 5).
+var (
+	// SingleTin is a one-cluster testbed of n Tin hosts.
+	SingleTin = cluster.SingleTin
+	// LANMulti joins Tin and Iron clusters over 100 Mbit Ethernet.
+	LANMulti = cluster.LANMulti
+	// LANMultiFour adds the Copper and Lead clusters.
+	LANMultiFour = cluster.LANMultiFour
+	// WANMulti splits Tin and Iron into six sub-clusters across the
+	// Longcut trace sites.
+	WANMulti = cluster.WANMulti
+)

@@ -1,0 +1,64 @@
+package eventspace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFacadeQuickstart runs the doc-comment quick start end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	err := RunVirtual(func() error {
+		sys, err := New(SingleTin(8), CoschedAfterUnblock)
+		if err != nil {
+			return err
+		}
+		defer sys.Close()
+		tree, err := sys.BuildTree(TreeSpec{
+			Name: "T", Fanout: 8, ThreadsPerHost: 1, Instrument: true, TraceBufCap: 256,
+		})
+		if err != nil {
+			return err
+		}
+		cfg := DefaultMonitorConfig()
+		cfg.PullInterval = 300 * time.Microsecond
+		cfg.AnalysisInterval = 300 * time.Microsecond
+		lb, err := sys.AttachLoadBalance(tree, Distributed, cfg)
+		if err != nil {
+			return err
+		}
+		if _, err := sys.RunWorkload(Workload{Trees: []*Tree{tree}, Iterations: 100}); err != nil {
+			return err
+		}
+		if lb.TraceReadRate() <= 0 {
+			t.Error("monitor read nothing")
+		}
+		sys.Close()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeTopologies(t *testing.T) {
+	for _, spec := range []TestbedSpec{
+		SingleTin(4), LANMulti(3, 3), LANMultiFour(3, 2, 2), WANMulti(2, 2, 1, 0),
+	} {
+		if len(spec.Clusters) == 0 {
+			t.Fatal("empty topology")
+		}
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if SingleScope == Distributed {
+		t.Fatal("modes collide")
+	}
+	if CoschedNone == CoschedAfterSend || CoschedAfterSend == CoschedAfterUnblock {
+		t.Fatal("strategies collide")
+	}
+	cfg := DefaultMonitorConfig()
+	if cfg.Strategy != CoschedAfterUnblock {
+		t.Fatal("default strategy diverges from the paper")
+	}
+}

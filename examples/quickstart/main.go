@@ -1,0 +1,72 @@
+// Quickstart: build a monitored allreduce tree, run the gsum benchmark,
+// and read the monitoring results — the smallest complete EventSpace
+// program.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"eventspace"
+)
+
+func main() {
+	err := eventspace.RunVirtual(func() error {
+		// A cluster of eight Tin hosts plus a monitor front-end.
+		sys, err := eventspace.New(eventspace.SingleTin(8), eventspace.CoschedAfterUnblock)
+		if err != nil {
+			return err
+		}
+		defer sys.Close()
+
+		// An instrumented 8-way allreduce spanning tree: every wrapper
+		// gets event collectors recording 28-byte trace tuples into
+		// bounded buffers.
+		tree, err := sys.BuildTree(eventspace.TreeSpec{
+			Name:           "gsum",
+			Fanout:         8,
+			ThreadsPerHost: 1,
+			Instrument:     true,
+			TraceBufCap:    500,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tree: %d collective wrappers, %d links, %d event collectors\n",
+			len(tree.Nodes), len(tree.Links), tree.ECCount())
+
+		// Attach the distributed-analysis load-balance monitor.
+		cfg := eventspace.DefaultMonitorConfig()
+		cfg.PullInterval = 400 * time.Microsecond
+		cfg.AnalysisInterval = 400 * time.Microsecond
+		lb, err := sys.AttachLoadBalance(tree, eventspace.Distributed, cfg)
+		if err != nil {
+			return err
+		}
+
+		// Run gsum: every thread contributes to a global sum per round.
+		const rounds = 2000
+		duration, err := sys.RunWorkload(eventspace.Workload{
+			Trees:      []*eventspace.Tree{tree},
+			Iterations: rounds,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("gsum: %d rounds in %v (%v per allreduce)\n",
+			rounds, duration.Round(time.Microsecond), (duration / rounds).Round(time.Microsecond))
+
+		// The monitor's verdict: how often each contributor arrived
+		// last at the root wrapper, and how much of the trace the
+		// monitor managed to observe.
+		root := tree.Nodes[0]
+		fmt.Printf("last arrivals at %s: %v\n", root.Name, lb.Weighted().Counts(root.Name))
+		fmt.Printf("gather rate: %.0f%%  trace read rate: %.0f%%\n",
+			lb.GatherRate()*100, lb.TraceReadRate()*100)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module eventspace
+
+go 1.22

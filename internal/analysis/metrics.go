@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"eventspace/internal/collect"
+)
+
+// TCPLatency computes the two-way TCP/IP latency of an inter-host hop from
+// the stub-side tuple (t1 = Start, t4 = End, collected before the stub by
+// e.g. EC12 in figure 1) and the communication-thread-side tuple
+// (t2 = Start, t3 = End, collected by the first event collector the CT
+// calls, e.g. EC13): (t4-t1) - (t3-t2).
+func TCPLatency(client, server collect.TraceTuple) time.Duration {
+	return time.Duration((client.End - client.Start) - (server.End - server.Start))
+}
+
+// Round is one completed collective operation: the collective wrapper's
+// tuple (t2 = Start, t3 = End) plus each contributor's tuple
+// (t1_i = Start, t4_i = End), joined on the operation sequence number.
+type Round struct {
+	Seq        uint32
+	Collective collect.TraceTuple
+	Contribs   map[int]collect.TraceTuple
+	wantK      int
+	haveColl   bool
+}
+
+// Complete reports whether all contributor tuples and the collective
+// tuple have arrived.
+func (r *Round) Complete() bool { return r.haveColl && len(r.Contribs) == r.wantK }
+
+// ContributorMetrics are the section 3 per-contributor figures for one
+// collective round.
+type ContributorMetrics struct {
+	Contributor   int
+	Down          time.Duration // t2 - t1_i
+	Up            time.Duration // t4_i - t3
+	Total         time.Duration // (t4_i - t1_i) - (t3 - t2)
+	ArrivalRank   int           // 0 = arrived first
+	DepartureRank int           // 0 = departed first
+	ArrivalWait   time.Duration // t1_l - t1_i (l = last arriver)
+	DepartureWait time.Duration // t4_i - t4_f (f = first departer)
+}
+
+// RoundMetrics is the full analysis of one collective round.
+type RoundMetrics struct {
+	Seq         uint32
+	Per         []ContributorMetrics // one per contributor, indexed by rank order of contributor id
+	LastArrival int                  // contributor that arrived last
+	FirstDepart int                  // contributor that departed first
+}
+
+// AnalyzeRound computes the section 3 metrics for a complete round.
+func AnalyzeRound(r *Round) (RoundMetrics, error) {
+	if !r.Complete() {
+		return RoundMetrics{}, fmt.Errorf("analysis: round %d incomplete (%d/%d contributors, collective=%v)",
+			r.Seq, len(r.Contribs), r.wantK, r.haveColl)
+	}
+	ids := make([]int, 0, len(r.Contribs))
+	for id := range r.Contribs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	t2 := r.Collective.Start
+	t3 := r.Collective.End
+
+	// Rank arrivals by t1 and departures by t4; ties break on id for
+	// determinism.
+	byArrival := append([]int(nil), ids...)
+	sort.Slice(byArrival, func(a, b int) bool {
+		ta, tb := r.Contribs[byArrival[a]].Start, r.Contribs[byArrival[b]].Start
+		if ta != tb {
+			return ta < tb
+		}
+		return byArrival[a] < byArrival[b]
+	})
+	byDeparture := append([]int(nil), ids...)
+	sort.Slice(byDeparture, func(a, b int) bool {
+		ta, tb := r.Contribs[byDeparture[a]].End, r.Contribs[byDeparture[b]].End
+		if ta != tb {
+			return ta < tb
+		}
+		return byDeparture[a] < byDeparture[b]
+	})
+	arrivalRank := make(map[int]int, len(ids))
+	departureRank := make(map[int]int, len(ids))
+	for rank, id := range byArrival {
+		arrivalRank[id] = rank
+	}
+	for rank, id := range byDeparture {
+		departureRank[id] = rank
+	}
+	last := byArrival[len(byArrival)-1]
+	first := byDeparture[0]
+	t1Last := r.Contribs[last].Start
+	t4First := r.Contribs[first].End
+
+	out := RoundMetrics{Seq: r.Seq, LastArrival: last, FirstDepart: first}
+	for _, id := range ids {
+		c := r.Contribs[id]
+		out.Per = append(out.Per, ContributorMetrics{
+			Contributor:   id,
+			Down:          time.Duration(t2 - c.Start),
+			Up:            time.Duration(c.End - t3),
+			Total:         time.Duration((c.End - c.Start) - (t3 - t2)),
+			ArrivalRank:   arrivalRank[id],
+			DepartureRank: departureRank[id],
+			ArrivalWait:   time.Duration(t1Last - c.Start),
+			DepartureWait: time.Duration(c.End - t4First),
+		})
+	}
+	return out, nil
+}
+
+// Joiner assembles rounds from the tuple streams of one collective
+// wrapper's event collectors: k contributor collectors plus the collective
+// collector. Because trace buffers are bounded, some rounds never
+// complete; the joiner keeps at most maxPending partial rounds and evicts
+// the oldest, counting them as lost.
+type Joiner struct {
+	k          int
+	maxPending int
+	pending    map[uint32]*Round
+	order      []uint32 // insertion order for eviction
+	emit       func(RoundMetrics)
+	lost       uint64
+}
+
+// NewJoiner creates a joiner for a k-contributor collective. emit is
+// called with the metrics of every completed round, in completion order.
+func NewJoiner(k, maxPending int, emit func(RoundMetrics)) (*Joiner, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("analysis: joiner: k %d < 1", k)
+	}
+	if maxPending < 1 {
+		maxPending = 64
+	}
+	if emit == nil {
+		return nil, fmt.Errorf("analysis: joiner: nil emit")
+	}
+	return &Joiner{k: k, maxPending: maxPending, pending: make(map[uint32]*Round), emit: emit}, nil
+}
+
+// Lost reports how many partial rounds were evicted.
+func (j *Joiner) Lost() uint64 { return j.lost }
+
+// Pending reports how many partial rounds are buffered.
+func (j *Joiner) Pending() int { return len(j.pending) }
+
+func (j *Joiner) round(seq uint32) *Round {
+	r, ok := j.pending[seq]
+	if !ok {
+		r = &Round{Seq: seq, Contribs: make(map[int]collect.TraceTuple, j.k), wantK: j.k}
+		j.pending[seq] = r
+		j.order = append(j.order, seq)
+		if len(j.pending) > j.maxPending {
+			// Evict the oldest still-pending round.
+			for len(j.order) > 0 {
+				old := j.order[0]
+				j.order = j.order[1:]
+				if _, ok := j.pending[old]; ok && old != seq {
+					delete(j.pending, old)
+					j.lost++
+					break
+				}
+			}
+		}
+	}
+	return r
+}
+
+// AddCollective feeds the collective wrapper's tuple for its round.
+func (j *Joiner) AddCollective(t collect.TraceTuple) {
+	r := j.round(t.Seq)
+	r.Collective = t
+	r.haveColl = true
+	j.finish(r)
+}
+
+// AddContributor feeds contributor i's tuple for its round.
+func (j *Joiner) AddContributor(i int, t collect.TraceTuple) {
+	r := j.round(t.Seq)
+	r.Contribs[i] = t
+	j.finish(r)
+}
+
+func (j *Joiner) finish(r *Round) {
+	if !r.Complete() {
+		return
+	}
+	delete(j.pending, r.Seq)
+	if m, err := AnalyzeRound(r); err == nil {
+		j.emit(m)
+	}
+}
+
+// OrderCounter accumulates the arrival (or departure) order distribution:
+// how many times each contributor held each rank, and in particular the
+// last-arrival counts driving the load-balance monitor's weighted tree.
+type OrderCounter struct {
+	k      int
+	counts [][]uint64 // [contributor][rank]
+}
+
+// NewOrderCounter creates a counter for k contributors.
+func NewOrderCounter(k int) *OrderCounter {
+	c := &OrderCounter{k: k, counts: make([][]uint64, k)}
+	for i := range c.counts {
+		c.counts[i] = make([]uint64, k)
+	}
+	return c
+}
+
+// Observe records that contributor i held the given rank.
+func (c *OrderCounter) Observe(contributor, rank int) {
+	if contributor < 0 || contributor >= c.k || rank < 0 || rank >= c.k {
+		return
+	}
+	c.counts[contributor][rank]++
+}
+
+// Count returns how often contributor i held the given rank.
+func (c *OrderCounter) Count(contributor, rank int) uint64 {
+	if contributor < 0 || contributor >= c.k || rank < 0 || rank >= c.k {
+		return 0
+	}
+	return c.counts[contributor][rank]
+}
+
+// LastCounts returns each contributor's count of last-place ranks.
+func (c *OrderCounter) LastCounts() []uint64 {
+	out := make([]uint64, c.k)
+	for i := range c.counts {
+		out[i] = c.counts[i][c.k-1]
+	}
+	return out
+}
+
+// Total returns the number of observations folded in per contributor slot.
+func (c *OrderCounter) Total() uint64 {
+	var n uint64
+	for _, row := range c.counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"eventspace/internal/cluster"
+	"eventspace/internal/monitor"
+)
+
+// tinySpec is a fast-running gsum specification for unit tests. The
+// virtual clock makes even full-fidelity runs quick.
+func tinySpec() RunSpec {
+	return RunSpec{
+		Testbed:     cluster.SingleTin(6),
+		Fanout:      8,
+		Trees:       2,
+		Workload:    Gsum,
+		Iterations:  60,
+		Monitor:     NoMonitor,
+		MonitorCfg:  monitor.DefaultConfig(),
+		TimeScale:   1,
+		TraceBufCap: 32,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	spec := tinySpec()
+	spec.Iterations = 0
+	if _, err := Run(spec); err == nil {
+		t.Fatal("0 iterations accepted")
+	}
+	spec = tinySpec()
+	spec.Monitor = MonitorKind(99)
+	if _, err := Run(spec); err == nil {
+		t.Fatal("unknown monitor accepted")
+	}
+}
+
+func TestRunGsumBase(t *testing.T) {
+	res, err := Run(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 60 {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+	// 6 Tin hosts, one level: a few hundred microseconds per op.
+	if res.PerOp < 100*time.Microsecond || res.PerOp > 2*time.Millisecond {
+		t.Fatalf("PerOp = %v", res.PerOp)
+	}
+	if res.Duration < res.PerOp {
+		t.Fatalf("duration %v < perOp %v", res.Duration, res.PerOp)
+	}
+	if res.Messages == 0 {
+		t.Fatal("no messages counted")
+	}
+}
+
+func TestRunRepeatableUnderVirtualClock(t *testing.T) {
+	a, err := Run(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Virtual timing depends only on the model; ties between
+	// simultaneous events may resolve in either order, so allow a
+	// sliver of variation.
+	diff := a.Duration - b.Duration
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.01*float64(a.Duration) {
+		t.Fatalf("runs diverge: %v vs %v", a.Duration, b.Duration)
+	}
+}
+
+func TestRunWithMonitors(t *testing.T) {
+	for _, kind := range []MonitorKind{CollectorsOnly, LBSingleScope, LBDistributed, Statsm, StatsmNoGather} {
+		spec := tinySpec()
+		spec.Monitor = kind
+		spec.MonitorCfg.PullInterval = 300 * time.Microsecond
+		spec.MonitorCfg.AnalysisInterval = 300 * time.Microsecond
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		switch kind {
+		case LBSingleScope, LBDistributed:
+			if res.GatherRate <= 0 || res.GatherRate > 1 {
+				t.Fatalf("%v: gather rate %v", kind, res.GatherRate)
+			}
+		case Statsm:
+			if res.WrapperGatherRate <= 0 || res.ThreadGatherRate <= 0 {
+				t.Fatalf("%v: rates %v/%v", kind, res.WrapperGatherRate, res.ThreadGatherRate)
+			}
+		}
+	}
+}
+
+func TestComputeGsumSlowerThanGsum(t *testing.T) {
+	spec := tinySpec()
+	spec.Trees = 1
+	base, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workload = ComputeGsum
+	spec.ComputeDuration = time.Duration(base.PerOp)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tuned 50/50: an iteration is roughly twice an allreduce.
+	ratio := float64(res.PerOp) / float64(base.PerOp)
+	if ratio < 1.5 || ratio > 3 {
+		t.Fatalf("compute-gsum/gsum per-op ratio = %.2f", ratio)
+	}
+}
+
+func TestTuneCompute(t *testing.T) {
+	spec := tinySpec()
+	spec.Workload = ComputeGsum
+	d, err := TuneCompute(spec, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 50*time.Microsecond || d > 5*time.Millisecond {
+		t.Fatalf("tuned compute = %v", d)
+	}
+}
+
+func TestOverheadBaseline(t *testing.T) {
+	// Overhead of collectors-only on a tiny run must be near zero under
+	// the virtual clock (collectors add no modelled cost).
+	spec := tinySpec()
+	spec.Monitor = CollectorsOnly
+	ov, res, err := Overhead(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ov) > 0.02 {
+		t.Fatalf("collectors-only overhead = %v", ov)
+	}
+	if res.Duration == 0 {
+		t.Fatal("no duration")
+	}
+}
+
+func TestWorkloadAndMonitorStrings(t *testing.T) {
+	if Gsum.String() != "gsum" || ComputeGsum.String() != "compute-gsum" {
+		t.Fatal("workload names")
+	}
+	names := map[MonitorKind]string{
+		NoMonitor: "none", CollectorsOnly: "collectors", LBSingleScope: "lb-single",
+		LBDistributed: "lb-distributed", Statsm: "statsm", StatsmNoGather: "statsm-nogather",
+		MonitorKind(42): "monitor(42)",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	if FormatOverhead(math.NaN()) != "-" {
+		t.Fatal("NaN overhead")
+	}
+	if FormatOverhead(0.001) != "none" {
+		t.Fatal("sub-noise overhead")
+	}
+	if FormatOverhead(0.031) != "3.1%" {
+		t.Fatalf("got %s", FormatOverhead(0.031))
+	}
+	if FormatRate(0) != "-" || FormatRate(0.994) != "99%" {
+		t.Fatal("rates")
+	}
+	r := Row{Config: "x", Overhead: 0.02, Discarded: true, GatherRate: 0.5, Paper: "2%"}
+	if s := r.String(); s == "" {
+		t.Fatal("empty row string")
+	}
+}
+
+func TestOptionsDerivations(t *testing.T) {
+	full := DefaultOptions()
+	quick := QuickOptions()
+	if full.tin32() != 32 || full.tin49() != 49 || full.lanTin() != 43 || full.lanIron() != 39 {
+		t.Fatal("full sizes diverge from the paper")
+	}
+	ft, fi := full.wanSub()
+	if ft != 14 || fi != 13 {
+		t.Fatal("full WAN sub-cluster sizes")
+	}
+	if quick.tin32() >= full.tin32() || quick.lanIterations() >= full.lanIterations() {
+		t.Fatal("quick not smaller than full")
+	}
+	if (Options{}).repeats() != 1 || (Options{Repeats: 3}).repeats() != 3 {
+		t.Fatal("repeats")
+	}
+	if (Options{}).scale() != 1 {
+		t.Fatal("scale default")
+	}
+	if traceCap(1000) != 200 || traceCap(10) != 32 {
+		t.Fatalf("traceCap = %d, %d", traceCap(1000), traceCap(10))
+	}
+}
+
+func TestTopoNames(t *testing.T) {
+	o := QuickOptions()
+	for _, name := range []string{"tin32", "tin49", "lan", "wan", "wan-overloaded"} {
+		tb, iters, label := o.topo(name)
+		if len(tb.Clusters) == 0 || iters <= 0 || label == "" {
+			t.Fatalf("topo %q incomplete", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown topology accepted")
+		}
+	}()
+	o.topo("nope")
+}
+
+func TestAllreducesPerIteration(t *testing.T) {
+	spec := tinySpec()
+	if allreducesPerIteration(spec) != 1 {
+		t.Fatal("one allreduce per iteration, alternating trees")
+	}
+}

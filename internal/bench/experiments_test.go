@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"testing"
+
+	"eventspace/internal/cluster"
+	"eventspace/internal/wantrace"
+)
+
+// These tests pin the qualitative shapes of the paper's evaluation — the
+// orderings and crossovers that must survive any recalibration of the
+// model's constants. They run the quick presets under the virtual clock.
+
+func TestSection5LatencyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment shape test")
+	}
+	rows, err := Section5Topology(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Row{}
+	for _, r := range rows {
+		byName[r.Config] = r
+	}
+	tin32 := rows[0].PerOp
+	tin49 := rows[1].PerOp
+	lan := rows[2].PerOp
+	wan := rows[3].PerOp
+	if !(tin32 <= tin49 && tin49 < lan && lan < wan) {
+		t.Fatalf("latency ordering violated: %v %v %v %v", tin32, tin49, lan, wan)
+	}
+	// WAN is two orders of magnitude above LAN (paper: 65x).
+	if ratio := float64(wan) / float64(lan); ratio < 15 {
+		t.Fatalf("WAN/LAN ratio = %.1f, want >> 1", ratio)
+	}
+	_ = byName
+}
+
+func TestTable1SequentialDiscardsParallelKeepsUp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment shape test")
+	}
+	o := QuickOptions()
+	o.Repeats = 1
+	rows, err := Table1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: tin seq, tin par, lan seq, lan par, wan seq.
+	if !rows[0].Discarded {
+		t.Errorf("Tin sequential did not discard tuples (rate %.2f)", rows[0].GatherRate)
+	}
+	if rows[1].Discarded {
+		t.Errorf("Tin parallel discarded tuples (rate %.2f)", rows[1].GatherRate)
+	}
+	if !rows[2].Discarded {
+		t.Errorf("LAN sequential did not discard tuples (rate %.2f)", rows[2].GatherRate)
+	}
+	if rows[3].Discarded {
+		t.Errorf("LAN parallel discarded tuples (rate %.2f)", rows[3].GatherRate)
+	}
+	// Parallel overhead stays small single-digit.
+	for _, i := range []int{1, 3} {
+		if rows[i].Overhead > 0.05 {
+			t.Errorf("%s overhead %.1f%% too high", rows[i].Config, rows[i].Overhead*100)
+		}
+	}
+}
+
+func TestTable2GatherRateCrossover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment shape test")
+	}
+	o := QuickOptions()
+	o.Repeats = 1
+	rows, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential/parallel pairs: (0,1), (2,3), (4,5), (6,7).
+	for i := 0; i < len(rows); i += 2 {
+		seq, par := rows[i], rows[i+1]
+		if seq.GatherRate >= par.GatherRate {
+			t.Errorf("%s rate %.2f >= %s rate %.2f", seq.Config, seq.GatherRate, par.Config, par.GatherRate)
+		}
+		if par.GatherRate < 0.9 {
+			t.Errorf("%s parallel rate %.2f < 90%%", par.Config, par.GatherRate)
+		}
+		if seq.Overhead > 0.06 || par.Overhead > 0.06 {
+			t.Errorf("pair %s overheads %.1f%%/%.1f%% exceed the paper's band",
+				seq.Config, seq.Overhead*100, par.Overhead*100)
+		}
+	}
+}
+
+func TestTable3CoschedulingLadder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment shape test")
+	}
+	o := QuickOptions()
+	o.Repeats = 1
+	rows, err := Table3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, cs1, cs2 := rows[0].Overhead, rows[1].Overhead, rows[2].Overhead
+	// The paper's ladder: 5-9% free-running, 3% strategy 1, 1% strategy 2.
+	if free < 0.02 {
+		t.Errorf("free-running analysis overhead %.1f%% too low to matter", free*100)
+	}
+	if cs1 >= free {
+		t.Errorf("coscheduling 1 (%.1f%%) did not improve on free-running (%.1f%%)", cs1*100, free*100)
+	}
+	if cs2 >= cs1 {
+		t.Errorf("coscheduling 2 (%.1f%%) did not improve on strategy 1 (%.1f%%)", cs2*100, cs1*100)
+	}
+	if cs2 > 0.02 {
+		t.Errorf("coscheduling 2 overhead %.1f%%, paper says ~1%%", cs2*100)
+	}
+}
+
+func TestScalabilityLoadBalanceFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment shape test")
+	}
+	o := QuickOptions()
+	o.Repeats = 1
+	rows, err := ScalabilityTrees(o, LBDistributed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Overhead > 0.04 {
+			t.Errorf("%s overhead %.1f%%: monitoring more trees must stay cheap", r.Config, r.Overhead*100)
+		}
+	}
+}
+
+func TestWANTopologyUsesEmulator(t *testing.T) {
+	tb, err := cluster.NewTestbed(cluster.WANMulti(2, 2, 7, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Emulator == nil {
+		t.Fatal("WAN testbed without Longcut emulator")
+	}
+	if wantrace.MaxRTT().Milliseconds() != 36 {
+		t.Fatal("trace anchor moved")
+	}
+}

@@ -1,0 +1,412 @@
+// Package bench reproduces the paper's experiments (sections 5 and 6):
+// the gsum and compute-gsum micro-benchmarks, the monitoring-overhead
+// measurements behind Tables 1-3, the collection-cost microbenchmark of
+// section 6.1, the per-topology allreduce latencies of section 5, and the
+// scalability series of sections 6.2-6.3.
+//
+// A Run builds a testbed and one or more spanning trees, optionally
+// attaches a monitor, drives every application thread for a fixed number
+// of iterations, and reports the wall time together with the monitor's
+// gather rates. Overhead compares a monitored run against an unmonitored
+// base run of the same specification, repeated and averaged exactly as the
+// paper averages at least three repetitions.
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"eventspace/internal/cluster"
+	"eventspace/internal/cosched"
+	"eventspace/internal/hrtime"
+	"eventspace/internal/monitor"
+	"eventspace/internal/paths"
+	"eventspace/internal/vclock"
+	"eventspace/internal/vnet"
+)
+
+// Workload selects the micro-benchmark.
+type Workload int
+
+// The paper's two micro-benchmarks.
+const (
+	// Gsum: threads alternate between identical allreduce trees
+	// computing a global sum of 8-byte values.
+	Gsum Workload = iota
+	// ComputeGsum alternates between computing (integer sort in the
+	// paper, modelled CPU occupancy here) and calling allreduce, tuned
+	// to spend 50% of its time in each.
+	ComputeGsum
+)
+
+// String names the workload.
+func (w Workload) String() string {
+	if w == ComputeGsum {
+		return "compute-gsum"
+	}
+	return "gsum"
+}
+
+// MonitorKind selects what observes the run.
+type MonitorKind int
+
+// Monitor kinds, in increasing intrusiveness.
+const (
+	// NoMonitor runs an uninstrumented tree: the overhead baseline.
+	NoMonitor MonitorKind = iota
+	// CollectorsOnly instruments the tree but attaches no monitor:
+	// the section 6.1 data-collection overhead.
+	CollectorsOnly
+	// LBSingleScope attaches the single-event-scope load-balance
+	// monitor (Table 1).
+	LBSingleScope
+	// LBDistributed attaches the distributed-analysis load-balance
+	// monitor (Table 2).
+	LBDistributed
+	// Statsm attaches the statistics monitor (Table 3).
+	Statsm
+	// StatsmNoGather runs statsm's analysis threads without the gather
+	// threads (the "Analysis threads" rows of Table 3).
+	StatsmNoGather
+)
+
+// String names the monitor kind.
+func (m MonitorKind) String() string {
+	switch m {
+	case NoMonitor:
+		return "none"
+	case CollectorsOnly:
+		return "collectors"
+	case LBSingleScope:
+		return "lb-single"
+	case LBDistributed:
+		return "lb-distributed"
+	case Statsm:
+		return "statsm"
+	case StatsmNoGather:
+		return "statsm-nogather"
+	default:
+		return fmt.Sprintf("monitor(%d)", int(m))
+	}
+}
+
+// RunSpec describes one measured run.
+type RunSpec struct {
+	Testbed    cluster.TestbedSpec
+	Fanout     int // host-level tree fanout (8 in the paper; <=0 flat)
+	Trees      int // identical spanning trees the app alternates over (gsum uses 2)
+	Workload   Workload
+	Iterations int
+	// ComputeDuration is compute-gsum's per-iteration modelled CPU work;
+	// 0 lets TuneCompute pick it for a 50/50 split.
+	ComputeDuration time.Duration
+	Monitor         MonitorKind
+	MonitorCfg      monitor.Config
+	// MonitorTrees is how many of the trees the monitor observes
+	// (default 1: the paper instruments both gsum trees but monitors
+	// one; the scalability experiments monitor all).
+	MonitorTrees int
+	// TimeScale is the virtual-time factor the run executes under.
+	// 1.0 models the paper's delays faithfully; smaller values shrink
+	// every modelled delay and CPU occupancy proportionally.
+	TimeScale float64
+	// TraceBufCap overrides the trace buffer size (default 3750).
+	TraceBufCap int
+}
+
+// RunResult is one run's measurements.
+type RunResult struct {
+	Duration time.Duration // wall time of the iteration loop
+	PerOp    time.Duration // Duration / (Iterations * allreduces per iteration)
+	Rounds   uint64
+
+	// Monitor-side measurements (zero unless a monitor ran).
+	GatherRate        float64 // LB monitors: tuple/intermediate gather rate
+	WrapperGatherRate float64 // statsm
+	ThreadGatherRate  float64 // statsm
+	TraceReadRate     float64
+	Messages          uint64 // network messages during the run
+}
+
+// Run executes one specification under the discrete-event virtual clock
+// and returns its measurements. Virtual execution means the measured
+// durations depend only on the model — never on how loaded or small the
+// machine running the experiment is (section "Virtual time" in
+// DESIGN.md).
+func Run(spec RunSpec) (RunResult, error) {
+	if spec.Iterations <= 0 {
+		return RunResult{}, fmt.Errorf("bench: iterations %d", spec.Iterations)
+	}
+	trees := spec.Trees
+	if trees <= 0 {
+		trees = 1
+	}
+	oldScale := hrtime.Scale()
+	if spec.TimeScale > 0 {
+		hrtime.SetScale(spec.TimeScale)
+	}
+	defer hrtime.SetScale(oldScale)
+
+	vclock.Enable(0)
+	defer func() {
+		vclock.Quiesce(10 * time.Second)
+		vclock.Disable()
+	}()
+
+	tb, err := cluster.NewTestbed(spec.Testbed)
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	var cs *cosched.Set
+	if spec.Monitor == Statsm || spec.Monitor == StatsmNoGather {
+		cs = cosched.NewSet(spec.MonitorCfg.Strategy)
+	}
+
+	instrument := spec.Monitor != NoMonitor
+	built := make([]*cluster.Tree, trees)
+	for i := range built {
+		ts := cluster.TreeSpec{
+			Name:           fmt.Sprintf("T%d", i+1),
+			Fanout:         spec.Fanout,
+			ThreadsPerHost: 1,
+			Instrument:     instrument,
+			TraceBufCap:    spec.TraceBufCap,
+			WANAllToAll:    spec.Testbed.WAN,
+		}
+		if cs != nil {
+			ts.Notifier = func(h *vnet.Host) paths.CollectiveNotifier { return cs.For(h) }
+		}
+		built[i], err = cluster.BuildTree(tb, ts)
+		if err != nil {
+			return RunResult{}, err
+		}
+		defer built[i].Close()
+	}
+
+	monitored := built
+	if spec.MonitorTrees > 0 && spec.MonitorTrees < len(built) {
+		monitored = built[:spec.MonitorTrees]
+	} else if spec.MonitorTrees == 0 && len(built) > 1 {
+		monitored = built[:1]
+	}
+
+	// Per the paper's methodology, event scopes are set up and analysis
+	// threads started before the monitored application.
+	var stopMonitor func()
+	var collectRates func(*RunResult)
+	switch spec.Monitor {
+	case NoMonitor, CollectorsOnly:
+		stopMonitor = func() {}
+		collectRates = func(*RunResult) {}
+	case LBSingleScope, LBDistributed:
+		mode := monitor.SingleScope
+		if spec.Monitor == LBDistributed {
+			mode = monitor.Distributed
+		}
+		lbs := make([]*monitor.LoadBalance, len(monitored))
+		for i, tr := range monitored {
+			lbs[i], err = monitor.NewLoadBalance(tb, tr, mode, spec.MonitorCfg, nil)
+			if err != nil {
+				return RunResult{}, err
+			}
+			lbs[i].Start()
+		}
+		stopMonitor = func() {
+			for _, lb := range lbs {
+				lb.Stop()
+			}
+		}
+		collectRates = func(r *RunResult) {
+			var rate, trr float64
+			for _, lb := range lbs {
+				rate += lb.GatherRate()
+				trr += lb.TraceReadRate()
+			}
+			r.GatherRate = rate / float64(len(lbs))
+			r.TraceReadRate = trr / float64(len(lbs))
+		}
+	case Statsm, StatsmNoGather:
+		sms := make([]*monitor.Statsm, len(monitored))
+		for i, tr := range monitored {
+			sms[i], err = monitor.NewStatsm(tb, tr, spec.MonitorCfg, cs)
+			if err != nil {
+				return RunResult{}, err
+			}
+			if spec.Monitor == Statsm {
+				sms[i].Start()
+			} else {
+				sms[i].StartAnalysisOnly()
+			}
+		}
+		stopMonitor = func() {
+			for _, sm := range sms {
+				sm.Stop()
+			}
+		}
+		collectRates = func(r *RunResult) {
+			var w, th, trr float64
+			for _, sm := range sms {
+				w += sm.WrapperGatherRate()
+				th += sm.ThreadGatherRate()
+				trr += sm.TraceReadRate()
+			}
+			r.WrapperGatherRate = w / float64(len(sms))
+			r.ThreadGatherRate = th / float64(len(sms))
+			r.TraceReadRate = trr / float64(len(sms))
+		}
+	default:
+		return RunResult{}, fmt.Errorf("bench: unknown monitor kind %d", spec.Monitor)
+	}
+
+	// Warm up connections and steady state (not measured).
+	driveThreads(built, tb, spec, 10)
+
+	msgsBefore := tb.Net.Messages()
+	duration := driveThreads(built, tb, spec, spec.Iterations)
+
+	res := RunResult{
+		Duration: duration,
+		PerOp:    duration / time.Duration(spec.Iterations*allreducesPerIteration(spec)),
+		Rounds:   uint64(spec.Iterations),
+		Messages: tb.Net.Messages() - msgsBefore,
+	}
+	// Give gather threads a short drain window before sampling rates,
+	// mirroring the paper's monitors which keep running after the app.
+	if spec.Monitor != NoMonitor && spec.Monitor != CollectorsOnly {
+		modelSleep(20 * time.Millisecond)
+	}
+	collectRates(&res)
+	stopMonitor()
+	return res, nil
+}
+
+// modelSleep waits d of model time from an unregistered goroutine by
+// parking a registered sleeper.
+func modelSleep(d time.Duration) {
+	done := make(chan struct{})
+	vclock.Go(func() {
+		hrtime.Sleep(d)
+		close(done)
+	})
+	<-done
+}
+
+// allreducesPerIteration returns how many collective calls one iteration
+// performs. Both workloads call exactly one allreduce per iteration,
+// alternating over the configured trees.
+func allreducesPerIteration(spec RunSpec) int {
+	return 1
+}
+
+// driveThreads runs every tree's thread ports for the given number of
+// iterations of the workload and returns the modelled duration of the
+// run. Start and end times are captured from inside the model: the
+// threads line up at a start gate and a registered starter stamps the
+// virtual clock when it opens the gate, so idle clock jumps between
+// phases (the monitor's pacing timers firing while the application is
+// being set up) never leak into the measurement.
+func driveThreads(trees []*cluster.Tree, tb *cluster.Testbed, spec RunSpec, iterations int) time.Duration {
+	ports := trees[0].Ports
+	var wg sync.WaitGroup
+	gate := vclock.NewEvent()
+	var mu sync.Mutex
+	var startNS, endNS int64
+	for pi := range ports {
+		pi := pi
+		wg.Add(1)
+		vclock.Go(func() {
+			defer wg.Done()
+			gate.Wait()
+			ctx := &paths.Ctx{Thread: ports[pi].Name}
+			host := ports[pi].Host
+			for it := 0; it < iterations; it++ {
+				// Both workloads alternate between the identical
+				// trees, one allreduce per iteration ("threads
+				// alternate between using two identical allreduce
+				// trees"), so the collective call frequency does not
+				// depend on the tree count — the property behind the
+				// sections 6.2/6.3 scalability results.
+				tr := trees[it%len(trees)]
+				if spec.Workload == ComputeGsum {
+					host.Occupy(spec.ComputeDuration)
+				}
+				tr.Ports[pi].Entry.Op(ctx, paths.Request{Kind: paths.OpWrite, Value: int64(pi)})
+			}
+			now := hrtime.Now()
+			mu.Lock()
+			if now > endNS {
+				endNS = now
+			}
+			mu.Unlock()
+		})
+	}
+	vclock.Go(func() {
+		mu.Lock()
+		startNS = hrtime.Now()
+		mu.Unlock()
+		gate.Fire(nil, nil)
+	})
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return time.Duration(endNS - startNS)
+}
+
+// TuneCompute measures the base allreduce latency of the spec's topology
+// and returns the per-iteration compute duration giving compute-gsum its
+// 50/50 split (section 5). The probe runs unmonitored.
+func TuneCompute(spec RunSpec, probeIterations int) (time.Duration, error) {
+	probe := spec
+	probe.Workload = Gsum
+	probe.Trees = 1
+	probe.Monitor = NoMonitor
+	probe.Iterations = probeIterations
+	res, err := Run(probe)
+	if err != nil {
+		return 0, err
+	}
+	// PerOp is wall time per allreduce; the modelled compute duration is
+	// expressed in unscaled model time, so divide the scale back out.
+	scale := spec.TimeScale
+	if scale <= 0 {
+		scale = hrtime.Scale()
+	}
+	if scale == 0 {
+		return 0, fmt.Errorf("bench: cannot tune compute at time scale 0")
+	}
+	return time.Duration(float64(res.PerOp) / scale), nil
+}
+
+// Overhead runs the base (unmonitored) and monitored variants of spec
+// `repeats` times each and returns the relative overhead
+// (monitored - base) / base together with the averaged monitored result.
+func Overhead(spec RunSpec, repeats int) (float64, RunResult, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	base := spec
+	base.Monitor = NoMonitor
+
+	var baseSum, monSum time.Duration
+	var last RunResult
+	for i := 0; i < repeats; i++ {
+		b, err := Run(base)
+		if err != nil {
+			return 0, RunResult{}, err
+		}
+		baseSum += b.Duration
+		m, err := Run(spec)
+		if err != nil {
+			return 0, RunResult{}, err
+		}
+		monSum += m.Duration
+		last = m
+	}
+	baseAvg := baseSum / time.Duration(repeats)
+	monAvg := monSum / time.Duration(repeats)
+	last.Duration = monAvg
+	overhead := float64(monAvg-baseAvg) / float64(baseAvg)
+	return overhead, last, nil
+}

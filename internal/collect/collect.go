@@ -1,0 +1,276 @@
+// Package collect implements EventSpace data collection: event collectors
+// and the 28-byte binary trace tuples they record (section 4.2).
+//
+// An event collector is a PATHS wrapper inserted into a communication
+// path. For every operation it records the entry and exit timestamps of
+// the next wrapper plus identifying fields, packs them into a 28-byte
+// tuple in native byte order, and writes the tuple to a bounded PastSet
+// trace buffer with a blocking write (a mutex, a 28-byte memory copy, and
+// an unlock). The traced operation is blocked during the write, so the
+// write path is deliberately minimal.
+package collect
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"eventspace/internal/hrtime"
+	"eventspace/internal/pastset"
+	"eventspace/internal/paths"
+	"eventspace/internal/vnet"
+)
+
+// TupleSize is the encoded size of a trace tuple: the paper's 28 bytes
+// (about 37 450 tuples per megabyte).
+const TupleSize = 28
+
+// TraceTuple is the record an event collector writes per operation:
+// event collector identifier, PastSet operation type, tuple sequence
+// number, return value, and the start and completion timestamps.
+type TraceTuple struct {
+	ECID  uint32
+	Op    paths.OpKind
+	Ret   int16
+	Seq   uint32
+	Start hrtime.Stamp
+	End   hrtime.Stamp
+}
+
+// Encode packs the tuple into a fresh 28-byte slice.
+func (t TraceTuple) Encode() []byte {
+	buf := make([]byte, TupleSize)
+	t.EncodeTo(buf)
+	return buf
+}
+
+// EncodeTo packs the tuple into buf, which must be at least TupleSize
+// bytes.
+func (t TraceTuple) EncodeTo(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[0:4], t.ECID)
+	binary.LittleEndian.PutUint16(buf[4:6], uint16(t.Op))
+	binary.LittleEndian.PutUint16(buf[6:8], uint16(t.Ret))
+	binary.LittleEndian.PutUint32(buf[8:12], t.Seq)
+	binary.LittleEndian.PutUint64(buf[12:20], uint64(t.Start))
+	binary.LittleEndian.PutUint64(buf[20:28], uint64(t.End))
+}
+
+// Decode unpacks a 28-byte trace tuple.
+func Decode(buf []byte) (TraceTuple, error) {
+	if len(buf) < TupleSize {
+		return TraceTuple{}, fmt.Errorf("collect: short trace tuple (%d bytes)", len(buf))
+	}
+	return TraceTuple{
+		ECID:  binary.LittleEndian.Uint32(buf[0:4]),
+		Op:    paths.OpKind(binary.LittleEndian.Uint16(buf[4:6])),
+		Ret:   int16(binary.LittleEndian.Uint16(buf[6:8])),
+		Seq:   binary.LittleEndian.Uint32(buf[8:12]),
+		Start: int64(binary.LittleEndian.Uint64(buf[12:20])),
+		End:   int64(binary.LittleEndian.Uint64(buf[20:28])),
+	}, nil
+}
+
+// DecodeAll unpacks a concatenation of trace tuples, as produced by batch
+// readers and gather wrappers.
+func DecodeAll(buf []byte) ([]TraceTuple, error) {
+	if len(buf)%TupleSize != 0 {
+		return nil, fmt.Errorf("collect: payload %d bytes is not a whole number of trace tuples", len(buf))
+	}
+	out := make([]TraceTuple, 0, len(buf)/TupleSize)
+	for off := 0; off < len(buf); off += TupleSize {
+		t, err := Decode(buf[off : off+TupleSize])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Role describes where in a spanning tree an event collector sits, so
+// monitors know which tuples to combine for which metric (section 3).
+type Role uint8
+
+// Event collector roles.
+const (
+	// RoleGeneric marks a collector with no special position.
+	RoleGeneric Role = iota
+	// RoleContributor sits on contributor i's path just before a
+	// collective wrapper; its tuples give t1_i and t4_i.
+	RoleContributor
+	// RoleCollective sits after a collective wrapper (on the upward
+	// path); its tuples give t2 and t3.
+	RoleCollective
+	// RoleStubClient sits just before an inter-host stub; its tuples
+	// give t1 and t4 of the TCP latency formula.
+	RoleStubClient
+	// RoleStubServer is the first collector called by a communication
+	// thread; its tuples give t2 and t3 of the TCP latency formula.
+	RoleStubServer
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleGeneric:
+		return "generic"
+	case RoleContributor:
+		return "contributor"
+	case RoleCollective:
+		return "collective"
+	case RoleStubClient:
+		return "stub-client"
+	case RoleStubServer:
+		return "stub-server"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Meta ties an event collector to its place in the monitored structure.
+type Meta struct {
+	Role        Role
+	Tree        string // spanning tree name
+	Node        string // tree node (e.g. allreduce wrapper) it instruments
+	Contributor int    // contributor index for RoleContributor, else -1
+}
+
+// EventCollector is the instrumentation wrapper. It is itself a PATHS
+// wrapper so paths are instrumented by insertion, leaving the surrounding
+// wrappers untouched.
+type EventCollector struct {
+	name string
+	host *vnet.Host
+	id   uint32
+	meta Meta
+	next paths.Wrapper
+	buf  *pastset.Element
+	seq  atomic.Uint32
+
+	enabled atomic.Bool
+}
+
+// Name returns the collector's name.
+func (e *EventCollector) Name() string { return e.name }
+
+// Host returns the collector's host.
+func (e *EventCollector) Host() *vnet.Host { return e.host }
+
+// ID returns the collector's identifier, as recorded in its tuples.
+func (e *EventCollector) ID() uint32 { return e.id }
+
+// Meta returns the collector's structural metadata.
+func (e *EventCollector) Meta() Meta { return e.meta }
+
+// Buffer returns the collector's trace buffer.
+func (e *EventCollector) Buffer() *pastset.Element { return e.buf }
+
+// SetEnabled turns recording on or off. Disabled collectors forward
+// operations untouched; the paper measures monitored runs against exactly
+// this un-instrumented behaviour.
+func (e *EventCollector) SetEnabled(on bool) { e.enabled.Store(on) }
+
+// Op timestamps the next wrapper's operation and records a trace tuple.
+// Failed operations record Ret = -1 before the error propagates.
+func (e *EventCollector) Op(ctx *paths.Ctx, req paths.Request) (paths.Reply, error) {
+	if !e.enabled.Load() {
+		return e.next.Op(ctx, req)
+	}
+	start := hrtime.Now()
+	rep, err := e.next.Op(ctx, req)
+	end := hrtime.Now()
+	t := TraceTuple{
+		ECID:  e.id,
+		Op:    req.Kind,
+		Ret:   rep.Ret,
+		Seq:   e.seq.Add(1) - 1,
+		Start: start,
+		End:   end,
+	}
+	if err != nil {
+		t.Ret = -1
+	}
+	// The write must not fail the traced operation: a closed trace
+	// buffer simply stops recording.
+	_, _ = e.buf.Write(t.Encode())
+	return rep, err
+}
+
+var _ paths.Wrapper = (*EventCollector)(nil)
+
+// Registry assigns event collector ids and remembers every collector so
+// event scopes and monitors can locate trace buffers and metadata by id.
+type Registry struct {
+	mu   sync.Mutex
+	byID map[uint32]*EventCollector
+	next uint32
+}
+
+// NewRegistry returns an empty collector registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[uint32]*EventCollector)}
+}
+
+// New creates an event collector around next, backed by a fresh trace
+// buffer of bufCap tuples registered in the host's PastSet registry under
+// "trace/<name>". Collectors start enabled.
+func (r *Registry) New(name string, host *vnet.Host, meta Meta, next paths.Wrapper, bufCap int) (*EventCollector, error) {
+	if next == nil {
+		return nil, fmt.Errorf("collect: collector %q: %w", name, paths.ErrNoNext)
+	}
+	buf, err := host.Registry.Create("trace/"+name, bufCap)
+	if err != nil {
+		return nil, fmt.Errorf("collect: collector %q: %v", name, err)
+	}
+	r.mu.Lock()
+	r.next++
+	id := r.next
+	r.mu.Unlock()
+	ec := &EventCollector{name: name, host: host, id: id, meta: meta, next: next, buf: buf}
+	ec.enabled.Store(true)
+	r.mu.Lock()
+	r.byID[id] = ec
+	r.mu.Unlock()
+	return ec, nil
+}
+
+// ByID looks a collector up by id.
+func (r *Registry) ByID(id uint32) (*EventCollector, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ec, ok := r.byID[id]
+	return ec, ok
+}
+
+// All returns every registered collector in id order.
+func (r *Registry) All() []*EventCollector {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*EventCollector, 0, len(r.byID))
+	for id := uint32(1); id <= r.next; id++ {
+		if ec, ok := r.byID[id]; ok {
+			out = append(out, ec)
+		}
+	}
+	return out
+}
+
+// OnHost returns every collector whose trace buffer lives on host, in id
+// order.
+func (r *Registry) OnHost(host *vnet.Host) []*EventCollector {
+	var out []*EventCollector
+	for _, ec := range r.All() {
+		if ec.Host() == host {
+			out = append(out, ec)
+		}
+	}
+	return out
+}
+
+// SetAllEnabled flips recording on every registered collector.
+func (r *Registry) SetAllEnabled(on bool) {
+	for _, ec := range r.All() {
+		ec.SetEnabled(on)
+	}
+}

@@ -1,0 +1,263 @@
+package collect
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"eventspace/internal/hrtime"
+	"eventspace/internal/paths"
+	"eventspace/internal/vnet"
+)
+
+func testHost(t *testing.T) *vnet.Host {
+	t.Helper()
+	old := hrtime.Scale()
+	hrtime.SetScale(0.01)
+	t.Cleanup(func() { hrtime.SetScale(old) })
+	n := vnet.NewNetwork(vnet.FastEthernet, vnet.DefaultCostModel())
+	h, err := n.AddStandaloneHost("h", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestTupleCodecRoundTrip(t *testing.T) {
+	in := TraceTuple{ECID: 7, Op: paths.OpWrite, Ret: -3, Seq: 12345, Start: 1111, End: 2222}
+	out, err := Decode(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestQuickTupleCodec(t *testing.T) {
+	f := func(id uint32, op uint16, ret int16, seq uint32, start, end int64) bool {
+		in := TraceTuple{ECID: id, Op: paths.OpKind(op), Ret: ret, Seq: seq, Start: start, End: end}
+		out, err := Decode(in.Encode())
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	if _, err := Decode(make([]byte, TupleSize-1)); err == nil {
+		t.Fatal("short tuple accepted")
+	}
+}
+
+func TestDecodeAll(t *testing.T) {
+	a := TraceTuple{ECID: 1, Seq: 0}
+	b := TraceTuple{ECID: 2, Seq: 1}
+	buf := append(a.Encode(), b.Encode()...)
+	got, err := DecodeAll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("DecodeAll = %+v", got)
+	}
+	if _, err := DecodeAll(buf[:30]); err == nil {
+		t.Fatal("ragged payload accepted")
+	}
+	if got, err := DecodeAll(nil); err != nil || len(got) != 0 {
+		t.Fatalf("empty payload: %v %v", got, err)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	for r, want := range map[Role]string{
+		RoleGeneric:     "generic",
+		RoleContributor: "contributor",
+		RoleCollective:  "collective",
+		RoleStubClient:  "stub-client",
+		RoleStubServer:  "stub-server",
+		Role(42):        "role(42)",
+	} {
+		if r.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}
+
+func TestCollectorRecordsTuples(t *testing.T) {
+	h := testHost(t)
+	reg := NewRegistry()
+	inner := paths.NewFunc("inner", h, func(ctx *paths.Ctx, req paths.Request) (paths.Reply, error) {
+		return paths.Reply{Value: req.Value, Ret: 9}, nil
+	})
+	ec, err := reg.New("ec1", h, Meta{Role: RoleContributor, Tree: "T", Node: "ar0", Contributor: 2}, inner, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		rep, err := ec.Op(&paths.Ctx{Thread: "t"}, paths.Request{Kind: paths.OpWrite, Value: int64(i)})
+		if err != nil || rep.Value != int64(i) {
+			t.Fatalf("op %d: %+v %v", i, rep, err)
+		}
+	}
+	if ec.Buffer().Stats().Written != 5 {
+		t.Fatalf("recorded %d tuples", ec.Buffer().Stats().Written)
+	}
+	c := ec.Buffer().NewCursor()
+	for i := 0; i < 5; i++ {
+		raw, err := c.TryNext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tu, err := Decode(raw.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tu.ECID != ec.ID() || tu.Seq != uint32(i) || tu.Op != paths.OpWrite || tu.Ret != 9 {
+			t.Fatalf("tuple %d = %+v", i, tu)
+		}
+		if tu.End < tu.Start {
+			t.Fatalf("tuple %d: end %d < start %d", i, tu.End, tu.Start)
+		}
+	}
+	if ec.Meta().Contributor != 2 || ec.Meta().Tree != "T" {
+		t.Fatalf("meta = %+v", ec.Meta())
+	}
+}
+
+func TestCollectorRecordsErrors(t *testing.T) {
+	h := testHost(t)
+	reg := NewRegistry()
+	inner := paths.NewFunc("fail", h, func(ctx *paths.Ctx, req paths.Request) (paths.Reply, error) {
+		return paths.Reply{}, errors.New("boom")
+	})
+	ec, err := reg.New("ec", h, Meta{}, inner, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ec.Op(nil, paths.Request{Kind: paths.OpRead}); err == nil {
+		t.Fatal("error swallowed")
+	}
+	raw, _ := ec.Buffer().Latest()
+	tu, _ := Decode(raw.Data)
+	if tu.Ret != -1 {
+		t.Fatalf("error tuple Ret = %d, want -1", tu.Ret)
+	}
+	if tu.Op != paths.OpRead {
+		t.Fatalf("error tuple Op = %v", tu.Op)
+	}
+}
+
+func TestCollectorDisable(t *testing.T) {
+	h := testHost(t)
+	reg := NewRegistry()
+	inner := paths.NewFunc("inner", h, func(ctx *paths.Ctx, req paths.Request) (paths.Reply, error) {
+		return paths.Reply{}, nil
+	})
+	ec, _ := reg.New("ec", h, Meta{}, inner, 4)
+	ec.SetEnabled(false)
+	for i := 0; i < 3; i++ {
+		if _, err := ec.Op(nil, paths.Request{Kind: paths.OpWrite}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ec.Buffer().Stats().Written != 0 {
+		t.Fatal("disabled collector recorded tuples")
+	}
+	ec.SetEnabled(true)
+	ec.Op(nil, paths.Request{Kind: paths.OpWrite})
+	if ec.Buffer().Stats().Written != 1 {
+		t.Fatal("re-enabled collector did not record")
+	}
+}
+
+func TestCollectorClosedBufferDoesNotFailOp(t *testing.T) {
+	h := testHost(t)
+	reg := NewRegistry()
+	inner := paths.NewFunc("inner", h, func(ctx *paths.Ctx, req paths.Request) (paths.Reply, error) {
+		return paths.Reply{Value: 1}, nil
+	})
+	ec, _ := reg.New("ec", h, Meta{}, inner, 4)
+	ec.Buffer().Close()
+	rep, err := ec.Op(nil, paths.Request{Kind: paths.OpWrite})
+	if err != nil || rep.Value != 1 {
+		t.Fatalf("op through closed buffer: %+v %v", rep, err)
+	}
+}
+
+func TestRegistryLookupAndEnumeration(t *testing.T) {
+	h := testHost(t)
+	reg := NewRegistry()
+	inner := paths.NewFunc("inner", h, func(ctx *paths.Ctx, req paths.Request) (paths.Reply, error) {
+		return paths.Reply{}, nil
+	})
+	var ids []uint32
+	for i := 0; i < 4; i++ {
+		ec, err := reg.New("ec"+string(rune('a'+i)), h, Meta{}, inner, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, ec.ID())
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("ids not increasing: %v", ids)
+		}
+	}
+	if _, ok := reg.ByID(ids[2]); !ok {
+		t.Fatal("ByID missed a collector")
+	}
+	if _, ok := reg.ByID(9999); ok {
+		t.Fatal("ByID found a ghost")
+	}
+	if got := reg.All(); len(got) != 4 {
+		t.Fatalf("All() = %d collectors", len(got))
+	}
+	if got := reg.OnHost(h); len(got) != 4 {
+		t.Fatalf("OnHost = %d collectors", len(got))
+	}
+	reg.SetAllEnabled(false)
+	for _, ec := range reg.All() {
+		ec.Op(nil, paths.Request{Kind: paths.OpWrite})
+		if ec.Buffer().Stats().Written != 0 {
+			t.Fatal("SetAllEnabled(false) did not disable")
+		}
+	}
+}
+
+func TestRegistryRejectsNilNextAndDupBuffer(t *testing.T) {
+	h := testHost(t)
+	reg := NewRegistry()
+	if _, err := reg.New("x", h, Meta{}, nil, 4); err == nil {
+		t.Fatal("nil next accepted")
+	}
+	inner := paths.NewFunc("inner", h, func(ctx *paths.Ctx, req paths.Request) (paths.Reply, error) {
+		return paths.Reply{}, nil
+	})
+	if _, err := reg.New("dup", h, Meta{}, inner, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.New("dup", h, Meta{}, inner, 4); err == nil {
+		t.Fatal("duplicate collector name on one host accepted")
+	}
+}
+
+// BenchmarkEventCollectorWrite measures the real cost an event collector
+// adds to a PastSet operation — the paper's 1.1 µs figure (section 6.1).
+func BenchmarkEventCollectorWrite(b *testing.B) {
+	n := vnet.NewNetwork(vnet.FastEthernet, vnet.DefaultCostModel())
+	h, _ := n.AddStandaloneHost("bench", 2)
+	reg := NewRegistry()
+	inner := paths.NewFunc("inner", h, func(ctx *paths.Ctx, req paths.Request) (paths.Reply, error) {
+		return paths.Reply{}, nil
+	})
+	ec, _ := reg.New("ec", h, Meta{}, inner, 3750)
+	ctx := &paths.Ctx{Thread: "bench"}
+	req := paths.Request{Kind: paths.OpWrite, Value: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ec.Op(ctx, req)
+	}
+}

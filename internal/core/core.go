@@ -1,0 +1,244 @@
+// Package core ties the EventSpace pieces together behind one façade
+// (figure 2): a System owns a virtual testbed, builds instrumented
+// collective spanning trees over it, wires the per-host coscheduling
+// controllers into every collective wrapper, attaches monitors, and runs
+// workloads. The root package eventspace re-exports this API.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"eventspace/internal/cluster"
+	"eventspace/internal/cosched"
+	"eventspace/internal/hrtime"
+	"eventspace/internal/monitor"
+	"eventspace/internal/paths"
+	"eventspace/internal/vclock"
+	"eventspace/internal/vnet"
+)
+
+// System is one EventSpace instance: a testbed plus the trees, monitors
+// and coscheduling controllers living on it.
+type System struct {
+	tb *cluster.Testbed
+	cs *cosched.Set
+
+	mu       sync.Mutex
+	trees    map[string]*cluster.Tree
+	monitors []interface{ Stop() }
+	closed   bool
+}
+
+// New builds a system over the given testbed specification. The strategy
+// selects how monitor analysis threads are coscheduled with the
+// application (cosched.None disables coscheduling).
+func New(spec cluster.TestbedSpec, strategy cosched.Strategy) (*System, error) {
+	tb, err := cluster.NewTestbed(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		tb:    tb,
+		cs:    cosched.NewSet(strategy),
+		trees: make(map[string]*cluster.Tree),
+	}, nil
+}
+
+// Testbed exposes the underlying virtual testbed.
+func (s *System) Testbed() *cluster.Testbed { return s.tb }
+
+// Cosched exposes the coscheduling controller set.
+func (s *System) Cosched() *cosched.Set { return s.cs }
+
+// BuildTree builds a spanning tree over the testbed, wiring the system's
+// coscheduling controllers into its collective wrappers.
+func (s *System) BuildTree(spec cluster.TreeSpec) (*cluster.Tree, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("core: system closed")
+	}
+	if _, ok := s.trees[spec.Name]; ok {
+		return nil, fmt.Errorf("core: tree %q already exists", spec.Name)
+	}
+	if spec.Notifier == nil {
+		spec.Notifier = func(h *vnet.Host) paths.CollectiveNotifier { return s.cs.For(h) }
+	}
+	tree, err := cluster.BuildTree(s.tb, spec)
+	if err != nil {
+		return nil, err
+	}
+	s.trees[spec.Name] = tree
+	return tree, nil
+}
+
+// Tree looks a built tree up by name.
+func (s *System) Tree(name string) (*cluster.Tree, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.trees[name]
+	return t, ok
+}
+
+// AttachLoadBalance builds and starts a load-balance monitor over tree.
+func (s *System) AttachLoadBalance(tree *cluster.Tree, mode monitor.LoadBalanceMode, cfg monitor.Config) (*monitor.LoadBalance, error) {
+	lb, err := monitor.NewLoadBalance(s.tb, tree, mode, cfg, s.cs)
+	if err != nil {
+		return nil, err
+	}
+	lb.Start()
+	s.mu.Lock()
+	s.monitors = append(s.monitors, lb)
+	s.mu.Unlock()
+	return lb, nil
+}
+
+// AttachStatsm builds and starts the statistics monitor over tree.
+func (s *System) AttachStatsm(tree *cluster.Tree, cfg monitor.Config) (*monitor.Statsm, error) {
+	sm, err := monitor.NewStatsm(s.tb, tree, cfg, s.cs)
+	if err != nil {
+		return nil, err
+	}
+	sm.Start()
+	s.mu.Lock()
+	s.monitors = append(s.monitors, sm)
+	s.mu.Unlock()
+	return sm, nil
+}
+
+// Close stops every monitor and closes every tree.
+func (s *System) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	monitors := s.monitors
+	trees := make([]*cluster.Tree, 0, len(s.trees))
+	for _, t := range s.trees {
+		trees = append(trees, t)
+	}
+	s.mu.Unlock()
+	for _, m := range monitors {
+		m.Stop()
+	}
+	for _, t := range trees {
+		t.Close()
+	}
+	s.cs.CloseAll()
+}
+
+// Workload drives a system's trees from application threads, mirroring
+// the paper's micro-benchmarks: with Compute == 0 and several Trees it is
+// gsum; with Compute > 0 it is compute-gsum.
+type Workload struct {
+	// Trees the threads operate on. Gsum alternates over all trees each
+	// iteration; compute-gsum rotates one tree per iteration.
+	Trees []*cluster.Tree
+	// Iterations per thread.
+	Iterations int
+	// Compute is the per-iteration modelled computation (compute-gsum).
+	Compute time.Duration
+	// Delay, when set, is an injected per-thread, per-iteration stall
+	// before contributing — the straggler examples use it to create the
+	// load imbalance the monitor should expose.
+	Delay func(thread, iteration int) time.Duration
+}
+
+// RunWorkload executes the workload and returns the modelled duration of
+// the run (measured from inside the model so virtual-time idling never
+// leaks in).
+func (s *System) RunWorkload(wl Workload) (time.Duration, error) {
+	if len(wl.Trees) == 0 {
+		return 0, fmt.Errorf("core: workload has no trees")
+	}
+	if wl.Iterations <= 0 {
+		return 0, fmt.Errorf("core: workload iterations %d", wl.Iterations)
+	}
+	ports := wl.Trees[0].Ports
+	for _, tr := range wl.Trees[1:] {
+		if len(tr.Ports) != len(ports) {
+			return 0, fmt.Errorf("core: trees have differing thread counts")
+		}
+	}
+	var wg sync.WaitGroup
+	gate := vclock.NewEvent()
+	var mu sync.Mutex
+	var startNS, endNS int64
+	var firstErr error
+	for pi := range ports {
+		pi := pi
+		wg.Add(1)
+		vclock.Go(func() {
+			defer wg.Done()
+			gate.Wait()
+			ctx := &paths.Ctx{Thread: ports[pi].Name}
+			host := ports[pi].Host
+			for it := 0; it < wl.Iterations; it++ {
+				if wl.Delay != nil {
+					if d := wl.Delay(pi, it); d > 0 {
+						hrtime.Sleep(d)
+					}
+				}
+				if wl.Compute > 0 {
+					host.Occupy(wl.Compute)
+					tr := wl.Trees[it%len(wl.Trees)]
+					if _, err := tr.Ports[pi].Entry.Op(ctx, paths.Request{Kind: paths.OpWrite, Value: int64(pi)}); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					continue
+				}
+				for _, tr := range wl.Trees {
+					if _, err := tr.Ports[pi].Entry.Op(ctx, paths.Request{Kind: paths.OpWrite, Value: int64(pi)}); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			}
+			now := hrtime.Now()
+			mu.Lock()
+			if now > endNS {
+				endNS = now
+			}
+			mu.Unlock()
+		})
+	}
+	vclock.Go(func() {
+		mu.Lock()
+		startNS = hrtime.Now()
+		mu.Unlock()
+		gate.Fire(nil, nil)
+	})
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return time.Duration(endNS - startNS), nil
+}
+
+// RunVirtual executes fn under the discrete-event virtual clock: the
+// system's modelled delays cost no real time and timing is exact and
+// deterministic. It quiesces and disables the clock afterwards. All
+// Systems used inside fn must be created and closed inside fn.
+func RunVirtual(fn func() error) error {
+	vclock.Enable(0)
+	defer func() {
+		vclock.Quiesce(10 * time.Second)
+		vclock.Disable()
+	}()
+	return fn()
+}

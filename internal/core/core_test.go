@@ -1,0 +1,243 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"eventspace/internal/analysis"
+	"eventspace/internal/cluster"
+	"eventspace/internal/cosched"
+	"eventspace/internal/monitor"
+)
+
+func newSystem(t *testing.T, strategy cosched.Strategy) *System {
+	t.Helper()
+	s, err := New(cluster.SingleTin(4), strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close inside the virtual section too (Close is idempotent); the
+	// cleanup is only a backstop for failing tests.
+	t.Cleanup(s.Close)
+	return s
+}
+
+func instrumented(t *testing.T, s *System, name string) *cluster.Tree {
+	t.Helper()
+	tree, err := s.BuildTree(cluster.TreeSpec{
+		Name: name, Fanout: 8, ThreadsPerHost: 1, Instrument: true, TraceBufCap: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestNewValidatesTestbed(t *testing.T) {
+	if _, err := New(cluster.TestbedSpec{}, cosched.None); err == nil {
+		t.Fatal("empty testbed accepted")
+	}
+}
+
+func TestBuildTreeAndLookup(t *testing.T) {
+	err := RunVirtual(func() error {
+		s := newSystem(t, cosched.None)
+		tree := instrumented(t, s, "T")
+		if got, ok := s.Tree("T"); !ok || got != tree {
+			t.Fatal("Tree lookup failed")
+		}
+		if _, ok := s.Tree("nope"); ok {
+			t.Fatal("ghost tree")
+		}
+		if _, err := s.BuildTree(cluster.TreeSpec{Name: "T"}); err == nil {
+			t.Fatal("duplicate tree accepted")
+		}
+		if s.Testbed() == nil || s.Cosched() == nil {
+			t.Fatal("accessors nil")
+		}
+		s.Close()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWorkloadGsum(t *testing.T) {
+	err := RunVirtual(func() error {
+		s := newSystem(t, cosched.None)
+		t1 := instrumented(t, s, "T1")
+		t2 := instrumented(t, s, "T2")
+		d, err := s.RunWorkload(Workload{Trees: []*cluster.Tree{t1, t2}, Iterations: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= 0 {
+			t.Fatalf("duration = %v", d)
+		}
+		// Every tree completed every round.
+		if t1.Nodes[0].AR.Rounds() != 20 || t2.Nodes[0].AR.Rounds() != 20 {
+			t.Fatalf("rounds = %d/%d", t1.Nodes[0].AR.Rounds(), t2.Nodes[0].AR.Rounds())
+		}
+		s.Close()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWorkloadComputeGsum(t *testing.T) {
+	err := RunVirtual(func() error {
+		s := newSystem(t, cosched.None)
+		tree := instrumented(t, s, "T")
+		base, err := s.RunWorkload(Workload{Trees: []*cluster.Tree{tree}, Iterations: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perOp := base / 20
+		d, err := s.RunWorkload(Workload{Trees: []*cluster.Tree{tree}, Iterations: 20, Compute: perOp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= base {
+			t.Fatalf("compute-gsum %v not slower than gsum %v", d, base)
+		}
+		s.Close()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWorkloadValidation(t *testing.T) {
+	err := RunVirtual(func() error {
+		s := newSystem(t, cosched.None)
+		if _, err := s.RunWorkload(Workload{}); err == nil {
+			t.Fatal("no trees accepted")
+		}
+		tree := instrumented(t, s, "T")
+		if _, err := s.RunWorkload(Workload{Trees: []*cluster.Tree{tree}}); err == nil {
+			t.Fatal("0 iterations accepted")
+		}
+		s.Close()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachLoadBalanceFindsStraggler(t *testing.T) {
+	err := RunVirtual(func() error {
+		s := newSystem(t, cosched.None)
+		tree := instrumented(t, s, "T")
+		cfg := monitor.DefaultConfig()
+		cfg.PullInterval = 300 * time.Microsecond
+		cfg.AnalysisInterval = 300 * time.Microsecond
+		lb, err := s.AttachLoadBalance(tree, monitor.Distributed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const rounds = 60
+		_, err = s.RunWorkload(Workload{
+			Trees:      []*cluster.Tree{tree},
+			Iterations: rounds,
+			Delay: func(thread, iter int) time.Duration {
+				if thread == 0 {
+					return 2 * time.Millisecond // tin-0's thread lags
+				}
+				return 0
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drain: give the monitor a little model time.
+		s.RunWorkload(Workload{Trees: []*cluster.Tree{tree}, Iterations: 5, Delay: func(th, it int) time.Duration {
+			if th == 0 {
+				return 2 * time.Millisecond
+			}
+			return 0
+		}})
+		root := tree.Nodes[0]
+		counts := lb.Weighted().Counts(root.Name)
+		if counts[0] < rounds/2 {
+			t.Fatalf("straggler not identified: %v", counts)
+		}
+		s.Close()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachStatsmGathersStats(t *testing.T) {
+	err := RunVirtual(func() error {
+		s := newSystem(t, cosched.AfterUnblock)
+		tree := instrumented(t, s, "T")
+		cfg := monitor.DefaultConfig()
+		cfg.PullInterval = 300 * time.Microsecond
+		sm, err := s.AttachStatsm(tree, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.RunWorkload(Workload{Trees: []*cluster.Tree{tree}, Iterations: 80}); err != nil {
+			t.Fatal(err)
+		}
+		if sm.RoundsAnalyzed() == 0 {
+			t.Fatal("no rounds analyzed")
+		}
+		rootID := tree.Nodes[0].CollectiveEC.ID()
+		if _, ok := sm.Tree().Get(rootID, analysis.KindTotal); !ok {
+			t.Fatal("no total-latency record at the front-end")
+		}
+		s.Close()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseIsIdempotentAndFinal(t *testing.T) {
+	err := RunVirtual(func() error {
+		s, err := New(cluster.SingleTin(2), cosched.None)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := s.BuildTree(cluster.TreeSpec{Name: "T", ThreadsPerHost: 1, Instrument: true, TraceBufCap: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := monitor.DefaultConfig()
+		cfg.PullInterval = 300 * time.Microsecond
+		if _, err := s.AttachLoadBalance(tree, monitor.SingleScope, cfg); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		s.Close()
+		if _, err := s.BuildTree(cluster.TreeSpec{Name: "U"}); err == nil {
+			t.Fatal("BuildTree after Close accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVirtualPropagatesError(t *testing.T) {
+	sentinel := RunVirtual(func() error { return errSentinel })
+	if sentinel != errSentinel {
+		t.Fatalf("got %v", sentinel)
+	}
+}
+
+var errSentinel = errString("boom")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -1,0 +1,322 @@
+// Package escope builds event scopes: the aggregation/gather networks
+// monitors use to pull trace tuples and intermediate results from compute
+// hosts to a front-end (section 4).
+//
+// An event scope is a spanning tree of PATHS wrappers. This package wires
+// the hierarchy-aware shape the paper converged on (section 6.2,
+// "Scalability"): a batch reader (plus optional data-manipulation
+// transform) per source buffer on its compute host, one gather wrapper on
+// each cluster's gateway reading the cluster's hosts over per-host
+// connections, and a root gather on the monitor front-end reading the
+// gateways. Intra-host reduction happens before inter-host gathering, and
+// intra-cluster gathering before inter-cluster gathering.
+//
+// Gather wrappers run sequentially in the pulling thread's context, or in
+// parallel with helper threads — the paper's central performance knob
+// (sequential vs parallel rows of Tables 1-3).
+package escope
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"eventspace/internal/hrtime"
+	"eventspace/internal/pastset"
+	"eventspace/internal/paths"
+	"eventspace/internal/vclock"
+	"eventspace/internal/vnet"
+)
+
+// Source is one buffer an event scope pulls from.
+type Source struct {
+	Host     *vnet.Host
+	Elem     *pastset.Element
+	RecSize  int // fixed record size of the buffer's tuples
+	BatchCap int // max records per pull; 0 = drain fully
+	// Transform, when set, is a data-manipulation stage applied on the
+	// source host before the data leaves it — the paper's "data can be
+	// reduced or filtered close to the source".
+	Transform func(paths.Reply) (paths.Reply, error)
+	// Custom, when set, replaces the Elem/RecSize/Transform chain with
+	// an arbitrary wrapper on Host (e.g. a per-node reduce over several
+	// trace buffers). Readers lists the batch readers underneath it so
+	// gather-rate accounting still works.
+	Custom  paths.Wrapper
+	Readers []*paths.BatchReader
+}
+
+// Spec describes an event scope to build.
+type Spec struct {
+	Name     string
+	FrontEnd *vnet.Host
+	// GatewayHelpers is the helper-thread count of each cluster-gateway
+	// gather wrapper (0 = sequential gathering).
+	GatewayHelpers int
+	// RootHelpers is the helper-thread count of the front-end root
+	// gather wrapper.
+	RootHelpers int
+	Sources     []Source
+}
+
+// Scope is a built event scope.
+type Scope struct {
+	name    string
+	root    paths.Wrapper
+	readers []*paths.BatchReader
+	conns   []*vnet.Conn
+
+	pulls atomic.Uint64
+}
+
+// Build wires the event scope described by spec over net.
+func Build(net *vnet.Network, spec Spec) (*Scope, error) {
+	if spec.FrontEnd == nil {
+		return nil, fmt.Errorf("escope: %q: no front-end host", spec.Name)
+	}
+	if len(spec.Sources) == 0 {
+		return nil, fmt.Errorf("escope: %q: no sources", spec.Name)
+	}
+	s := &Scope{name: spec.Name}
+
+	// Per-host chains: reader (+ transform), grouped by host.
+	type hostChains struct {
+		host   *vnet.Host
+		chains []paths.Wrapper
+	}
+	byHost := make(map[*vnet.Host]*hostChains)
+	var hostOrder []*vnet.Host
+	for i, src := range spec.Sources {
+		if src.Host == nil || (src.Elem == nil && src.Custom == nil) {
+			return nil, fmt.Errorf("escope: %q: source %d incomplete", spec.Name, i)
+		}
+		var chain paths.Wrapper
+		if src.Custom != nil {
+			chain = src.Custom
+			s.readers = append(s.readers, src.Readers...)
+		} else {
+			if src.RecSize <= 0 {
+				return nil, fmt.Errorf("escope: %q: source %d: record size %d", spec.Name, i, src.RecSize)
+			}
+			rd := paths.NewBatchReader(
+				fmt.Sprintf("%s/rd%d(%s)", spec.Name, i, src.Elem.Name()),
+				src.Host, src.Elem, src.RecSize, src.BatchCap)
+			s.readers = append(s.readers, rd)
+			chain = rd
+			if src.Transform != nil {
+				chain = paths.NewTransform(
+					fmt.Sprintf("%s/tr%d", spec.Name, i), src.Host, chain, src.Transform)
+			}
+		}
+		hc, ok := byHost[src.Host]
+		if !ok {
+			hc = &hostChains{host: src.Host}
+			byHost[src.Host] = hc
+			hostOrder = append(hostOrder, src.Host)
+		}
+		hc.chains = append(hc.chains, chain)
+	}
+
+	// Group hosts by cluster; hosts outside any cluster (and the
+	// front-end itself) attach directly under the root.
+	type clusterGroup struct {
+		cluster *vnet.Cluster
+		hosts   []*hostChains
+	}
+	byCluster := make(map[*vnet.Cluster]*clusterGroup)
+	var clusterOrder []*vnet.Cluster
+	var direct []*hostChains
+	for _, h := range hostOrder {
+		hc := byHost[h]
+		cl := h.Cluster()
+		if cl == nil || h == spec.FrontEnd {
+			direct = append(direct, hc)
+			continue
+		}
+		cg, ok := byCluster[cl]
+		if !ok {
+			cg = &clusterGroup{cluster: cl}
+			byCluster[cl] = cg
+			clusterOrder = append(clusterOrder, cl)
+		}
+		cg.hosts = append(cg.hosts, hc)
+	}
+
+	// hostEntry builds the single wrapper representing one host's
+	// sources: the chain itself, or a local gather joining several.
+	hostEntry := func(hc *hostChains) (paths.Wrapper, error) {
+		if len(hc.chains) == 1 {
+			return hc.chains[0], nil
+		}
+		return paths.NewGather(
+			fmt.Sprintf("%s/hostgather(%s)", spec.Name, hc.host.Name()),
+			hc.host, hc.chains, 0)
+	}
+
+	var rootChildren []paths.Wrapper
+	for _, cl := range clusterOrder {
+		cg := byCluster[cl]
+		gw := cl.Gateway()
+		var gwChildren []paths.Wrapper
+		for _, hc := range cg.hosts {
+			entry, err := hostEntry(hc)
+			if err != nil {
+				return nil, err
+			}
+			if hc.host == gw {
+				gwChildren = append(gwChildren, entry)
+				continue
+			}
+			// The gateway reads the host over its own connection.
+			svc := paths.NewService()
+			target := svc.Register(entry)
+			conn := net.Dial(gw, hc.host, svc.Handler())
+			s.conns = append(s.conns, conn)
+			gwChildren = append(gwChildren, paths.NewRemote(
+				fmt.Sprintf("%s/stub(%s->%s)", spec.Name, gw.Name(), hc.host.Name()),
+				gw, conn, target))
+		}
+		gwGather, err := paths.NewGather(
+			fmt.Sprintf("%s/gwgather(%s)", spec.Name, cl.Name()),
+			gw, gwChildren, spec.GatewayHelpers)
+		if err != nil {
+			return nil, err
+		}
+		// The front-end reads the gateway gather over a connection.
+		svc := paths.NewService()
+		target := svc.Register(gwGather)
+		conn := net.Dial(spec.FrontEnd, gw, svc.Handler())
+		s.conns = append(s.conns, conn)
+		rootChildren = append(rootChildren, paths.NewRemote(
+			fmt.Sprintf("%s/stub(fe->%s)", spec.Name, gw.Name()),
+			spec.FrontEnd, conn, target))
+	}
+	for _, hc := range direct {
+		entry, err := hostEntry(hc)
+		if err != nil {
+			return nil, err
+		}
+		if hc.host == spec.FrontEnd {
+			rootChildren = append(rootChildren, entry)
+			continue
+		}
+		svc := paths.NewService()
+		target := svc.Register(entry)
+		conn := net.Dial(spec.FrontEnd, hc.host, svc.Handler())
+		s.conns = append(s.conns, conn)
+		rootChildren = append(rootChildren, paths.NewRemote(
+			fmt.Sprintf("%s/stub(fe->%s)", spec.Name, hc.host.Name()),
+			spec.FrontEnd, conn, target))
+	}
+
+	if len(rootChildren) == 1 {
+		s.root = rootChildren[0]
+		return s, nil
+	}
+	root, err := paths.NewGather(spec.Name+"/root", spec.FrontEnd, rootChildren, spec.RootHelpers)
+	if err != nil {
+		return nil, err
+	}
+	s.root = root
+	return s, nil
+}
+
+// Name returns the scope's name.
+func (s *Scope) Name() string { return s.name }
+
+// Root returns the scope's root wrapper (on the front-end).
+func (s *Scope) Root() paths.Wrapper { return s.root }
+
+// Readers returns the scope's source readers, for accounting.
+func (s *Scope) Readers() []*paths.BatchReader { return s.readers }
+
+// Pull performs one on-demand gather through the scope, returning the
+// concatenated records of every source.
+func (s *Scope) Pull(ctx *paths.Ctx) (paths.Reply, error) {
+	s.pulls.Add(1)
+	return s.root.Op(ctx, paths.Request{Kind: paths.OpRead})
+}
+
+// Pulls reports how many gathers were performed.
+func (s *Scope) Pulls() uint64 { return s.pulls.Load() }
+
+// GatherRate returns the fraction of source tuples the scope delivered
+// before the bounded buffers discarded them: read / (read + skipped),
+// aggregated over all source cursors. This is the paper's gather rate
+// (Tables 2 and 3); 1.0 means no tuple was lost.
+func (s *Scope) GatherRate() float64 {
+	var read, skipped uint64
+	for _, r := range s.readers {
+		read += r.Cursor().Read()
+		skipped += r.Cursor().Skipped()
+	}
+	if read+skipped == 0 {
+		return 1
+	}
+	return float64(read) / float64(read+skipped)
+}
+
+// Close shuts down the scope's connections.
+func (s *Scope) Close() {
+	for _, c := range s.conns {
+		c.Close()
+	}
+}
+
+// Puller is a gather thread: it pulls the scope in a loop and hands every
+// reply to a sink. Monitors use pullers as their front-end gather threads.
+type Puller struct {
+	stop chan struct{}
+	done chan struct{}
+
+	pulls  atomic.Uint64
+	errcnt atomic.Uint64
+}
+
+// StartPuller launches a gather thread pulling every interval (modelled
+// time; 0 pulls continuously). The sink receives every non-empty reply;
+// a nil sink discards data (pure drain).
+func (s *Scope) StartPuller(interval time.Duration, sink func(paths.Reply) error) *Puller {
+	p := &Puller{stop: make(chan struct{}), done: make(chan struct{})}
+	ctx := &paths.Ctx{Thread: s.name + "/gather"}
+	vclock.Go(func() {
+		defer close(p.done)
+		for {
+			select {
+			case <-p.stop:
+				return
+			default:
+			}
+			rep, err := s.Pull(ctx)
+			if err != nil {
+				p.errcnt.Add(1)
+			} else {
+				p.pulls.Add(1)
+				if sink != nil && len(rep.Data) > 0 {
+					if err := sink(rep); err != nil {
+						p.errcnt.Add(1)
+					}
+				}
+			}
+			if interval > 0 {
+				hrtime.Sleep(interval)
+			}
+		}
+	})
+	return p
+}
+
+// Stop halts the gather thread and waits for it to exit.
+func (p *Puller) Stop() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	<-p.done
+}
+
+// Pulls reports successful pulls; Errors reports failed pulls or sink
+// errors.
+func (p *Puller) Pulls() uint64  { return p.pulls.Load() }
+func (p *Puller) Errors() uint64 { return p.errcnt.Load() }

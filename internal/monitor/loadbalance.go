@@ -1,0 +1,467 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"eventspace/internal/analysis"
+	"eventspace/internal/cluster"
+	"eventspace/internal/collect"
+	"eventspace/internal/cosched"
+	"eventspace/internal/escope"
+	"eventspace/internal/hrtime"
+	"eventspace/internal/pastset"
+	"eventspace/internal/paths"
+	"eventspace/internal/vclock"
+	"eventspace/internal/vnet"
+)
+
+// lbJoin joins contributor tuples per round and reports the last arriver.
+// The load-balance monitor does not need the collective tuple: the last
+// arrival is the contributor tuple with the largest down timestamp.
+type lbJoin struct {
+	k          int
+	maxPending int
+	pending    map[uint32]map[int]collect.TraceTuple
+	order      []uint32
+	lost       uint64
+}
+
+func newLBJoin(k int) *lbJoin {
+	return &lbJoin{k: k, maxPending: 256, pending: make(map[uint32]map[int]collect.TraceTuple)}
+}
+
+// add feeds a contributor tuple; when the round completes it returns the
+// last-arriving contributor and true.
+func (j *lbJoin) add(contributor int, t collect.TraceTuple) (int, bool) {
+	m, ok := j.pending[t.Seq]
+	if !ok {
+		m = make(map[int]collect.TraceTuple, j.k)
+		j.pending[t.Seq] = m
+		j.order = append(j.order, t.Seq)
+		if len(j.pending) > j.maxPending {
+			for len(j.order) > 0 {
+				old := j.order[0]
+				j.order = j.order[1:]
+				if _, ok := j.pending[old]; ok && old != t.Seq {
+					delete(j.pending, old)
+					j.lost++
+					break
+				}
+			}
+		}
+	}
+	m[contributor] = t
+	if len(m) < j.k {
+		return 0, false
+	}
+	delete(j.pending, t.Seq)
+	last, lastStart := -1, int64(-1)
+	for c, tu := range m {
+		if tu.Start > lastStart || (tu.Start == lastStart && c > last) {
+			last, lastStart = c, tu.Start
+		}
+	}
+	return last, true
+}
+
+// LoadBalanceMode selects between the two figure-3 implementations.
+type LoadBalanceMode int
+
+// Load-balance monitor modes.
+const (
+	// SingleScope pulls raw trace tuples through one event scope with a
+	// per-node reduce wrapper on each compute host.
+	SingleScope LoadBalanceMode = iota
+	// Distributed runs an analysis thread per host that maintains the
+	// arrival-order state; only intermediate results are gathered.
+	Distributed
+)
+
+// String names the mode.
+func (m LoadBalanceMode) String() string {
+	if m == Distributed {
+		return "distributed"
+	}
+	return "single-scope"
+}
+
+// LoadBalance is the load-balance monitor of section 4.3.
+type LoadBalance struct {
+	mode LoadBalanceMode
+	cfg  Config
+	tree *cluster.Tree
+	fe   *vnet.Host
+
+	scope    *escope.Scope
+	puller   *escope.Puller
+	weighted *WeightedTree
+
+	feElems map[uint32]*pastset.Element // per collective wrapper, on the front-end
+	names   map[uint32]string           // wrapper id -> node name
+	fanins  map[uint32]int
+
+	// Distributed-analysis state.
+	cs      *cosched.Set
+	hosts   []*lbHostAnalysis
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	stopped bool
+}
+
+// lbHostAnalysis is one host's analysis thread state (distributed mode).
+type lbHostAnalysis struct {
+	host    *vnet.Host
+	nodes   []*lbNodeState
+	interm  *pastset.Element
+	written map[[2]uint32]uint64 // (node, contributor) -> last written count
+}
+
+type lbNodeState struct {
+	node    *cluster.Node
+	join    *lbJoin
+	cursors []*pastset.Cursor // per contributor EC buffer
+	counts  []uint64          // last-arrival counts per contributor
+	dirty   bool
+}
+
+// NewLoadBalance builds a load-balance monitor over an instrumented tree.
+// cs may be nil (no coscheduling); when set, it must be the same set wired
+// into the tree's notifier.
+func NewLoadBalance(tb *cluster.Testbed, tree *cluster.Tree, mode LoadBalanceMode, cfg Config, cs *cosched.Set) (*LoadBalance, error) {
+	if !tree.Spec.Instrument {
+		return nil, fmt.Errorf("monitor: load balance needs an instrumented tree")
+	}
+	lb := &LoadBalance{
+		mode:     mode,
+		cfg:      cfg,
+		tree:     tree,
+		fe:       tb.FrontEnd,
+		weighted: NewWeightedTree(),
+		feElems:  make(map[uint32]*pastset.Element),
+		names:    make(map[uint32]string),
+		fanins:   make(map[uint32]int),
+		cs:       cs,
+		stop:     make(chan struct{}),
+	}
+	for _, n := range tree.Nodes {
+		id := n.CollectiveEC.ID()
+		lb.names[id] = n.Name
+		lb.fanins[id] = n.AR.Fanin()
+		elem, err := tb.FrontEnd.Registry.Create(fmt.Sprintf("lb/%s/%s/%s", mode, tree.Name, n.Name), 4096)
+		if err != nil {
+			return nil, err
+		}
+		lb.feElems[id] = elem
+	}
+
+	var spec escope.Spec
+	spec.Name = fmt.Sprintf("lbscope/%s/%s", mode, tree.Name)
+	spec.FrontEnd = tb.FrontEnd
+	spec.GatewayHelpers = cfg.GatewayHelpers
+	spec.RootHelpers = cfg.RootHelpers
+
+	switch mode {
+	case SingleScope:
+		if err := lb.buildSingleScopeSources(&spec); err != nil {
+			return nil, err
+		}
+	case Distributed:
+		if err := lb.buildDistributed(tb, &spec); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("monitor: unknown load-balance mode %d", mode)
+	}
+
+	scope, err := escope.Build(tb.Net, spec)
+	if err != nil {
+		return nil, err
+	}
+	lb.scope = scope
+	return lb, nil
+}
+
+// buildSingleScopeSources creates one source per collective wrapper: a
+// reduce wrapper on the node's host that joins the node's contributor
+// trace buffers and keeps only each round's last-arrival record.
+func (lb *LoadBalance) buildSingleScopeSources(spec *escope.Spec) error {
+	for _, n := range lb.tree.Nodes {
+		n := n
+		id := n.CollectiveEC.ID()
+		var readers []*paths.BatchReader
+		var chains []paths.Wrapper
+		for i, ec := range n.ContribECs {
+			rd := paths.NewBatchReader(
+				fmt.Sprintf("lb/rd(%s.c%d)", n.Name, i), n.Host, ec.Buffer(), collect.TupleSize, lb.cfg.readBatch())
+			readers = append(readers, rd)
+			chains = append(chains, rd)
+		}
+		gather, err := paths.NewGather("lb/hg("+n.Name+")", n.Host, chains, 0)
+		if err != nil {
+			return err
+		}
+		join := newLBJoin(n.AR.Fanin())
+		perPort := len(readers)
+		cost := lb.cfg.AnalysisCostPerTuple
+		host := n.Host
+		reduce := paths.NewTransform("lb/reduce("+n.Name+")", n.Host, gather, func(rep paths.Reply) (paths.Reply, error) {
+			tuples, err := collect.DecodeAll(rep.Data)
+			if err != nil {
+				return paths.Reply{}, err
+			}
+			// The concatenation is in child order: reader i's batch
+			// holds contributor i's tuples; contributor identity comes
+			// from the tuple's ECID.
+			_ = perPort
+			var out []byte
+			nrec := 0
+			for _, tu := range tuples {
+				ec, ok := lb.tree.Collectors.ByID(tu.ECID)
+				if !ok {
+					continue
+				}
+				if last, done := join.add(ec.Meta().Contributor, tu); done {
+					rec := analysis.LastArrivalRecord{Node: id, Contributor: uint16(last), Count: 1}
+					out = append(out, rec.Encode()...)
+					nrec++
+				}
+			}
+			// The reduce computation costs CPU on the compute host.
+			if len(tuples) > 0 && cost > 0 {
+				host.Occupy(time.Duration(len(tuples)) * cost)
+			}
+			return paths.Reply{Data: out, Ret: int16(nrec)}, nil
+		})
+		spec.Sources = append(spec.Sources, escope.Source{
+			Host: n.Host, Custom: reduce, Readers: readers,
+		})
+	}
+	return nil
+}
+
+// buildDistributed creates per-host analysis state and sources over the
+// hosts' intermediate-result buffers.
+func (lb *LoadBalance) buildDistributed(tb *cluster.Testbed, spec *escope.Spec) error {
+	byHost := make(map[*vnet.Host]*lbHostAnalysis)
+	var order []*vnet.Host
+	for _, n := range lb.tree.Nodes {
+		ha, ok := byHost[n.Host]
+		if !ok {
+			interm, err := n.Host.Registry.Create(
+				fmt.Sprintf("lbint/%s/%s", lb.tree.Name, n.Host.Name()), lb.cfg.intermediateCap())
+			if err != nil {
+				return err
+			}
+			ha = &lbHostAnalysis{host: n.Host, interm: interm, written: make(map[[2]uint32]uint64)}
+			byHost[n.Host] = ha
+			order = append(order, n.Host)
+		}
+		st := &lbNodeState{
+			node:   n,
+			join:   newLBJoin(n.AR.Fanin()),
+			counts: make([]uint64, n.AR.Fanin()),
+		}
+		for _, ec := range n.ContribECs {
+			st.cursors = append(st.cursors, ec.Buffer().NewCursor())
+		}
+		ha.nodes = append(ha.nodes, st)
+	}
+	for _, h := range order {
+		ha := byHost[h]
+		lb.hosts = append(lb.hosts, ha)
+		spec.Sources = append(spec.Sources, escope.Source{
+			Host: h, Elem: ha.interm, RecSize: analysis.LastArrivalRecordSize,
+			BatchCap: lb.cfg.readBatch(),
+		})
+	}
+	return nil
+}
+
+// analysisLoop is one host's distributed analysis thread.
+func (lb *LoadBalance) analysisLoop(ha *lbHostAnalysis) {
+	defer lb.wg.Done()
+	var waiter *cosched.Waiter
+	if lb.cs != nil {
+		waiter = lb.cs.For(ha.host).NewWaiter()
+	}
+	var batch []pastset.Tuple
+	for {
+		select {
+		case <-lb.stop:
+			return
+		default:
+		}
+		if waiter != nil && !waiter.Await() {
+			return
+		}
+		processed := 0
+		for _, st := range ha.nodes {
+			for i, cur := range st.cursors {
+				batch = cur.DrainInto(batch[:0])
+				for _, raw := range batch {
+					tu, err := collect.Decode(raw.Data)
+					if err != nil {
+						continue
+					}
+					if last, done := st.join.add(i, tu); done {
+						st.counts[last]++
+						st.dirty = true
+					}
+					processed++
+				}
+			}
+		}
+		if processed > 0 && lb.cfg.AnalysisCostPerTuple > 0 {
+			ha.host.Occupy(time.Duration(processed) * lb.cfg.AnalysisCostPerTuple)
+		}
+		if processed == 0 {
+			// The paper's analysis threads block in PastSet reads when
+			// a trace buffer is empty; back off so an idle analysis
+			// thread does not busy-spin.
+			hrtime.SleepUnscaled(50 * time.Microsecond)
+		}
+		// Write cumulative intermediate results for nodes that changed.
+		for _, st := range ha.nodes {
+			if !st.dirty {
+				continue
+			}
+			st.dirty = false
+			id := st.node.CollectiveEC.ID()
+			for c, cnt := range st.counts {
+				key := [2]uint32{id, uint32(c)}
+				if ha.written[key] == cnt {
+					continue
+				}
+				ha.written[key] = cnt
+				rec := analysis.LastArrivalRecord{Node: id, Contributor: uint16(c), Count: cnt}
+				if _, err := ha.interm.Write(rec.Encode()); err != nil {
+					return
+				}
+			}
+		}
+		if lb.cfg.AnalysisInterval > 0 {
+			hrtime.Sleep(lb.cfg.AnalysisInterval)
+		}
+	}
+}
+
+// Start launches the monitor's threads: the per-host analysis threads (in
+// distributed mode), the front-end gather thread, and the updater applying
+// gathered records to the weighted tree.
+func (lb *LoadBalance) Start() {
+	if lb.mode == Distributed {
+		for _, ha := range lb.hosts {
+			ha := ha
+			lb.wg.Add(1)
+			vclock.Go(func() { lb.analysisLoop(ha) })
+		}
+	}
+	scatter, _ := paths.NewScatter("lb/scatter", lb.fe, analysis.LastArrivalRecordSize,
+		func(rec []byte) (*pastset.Element, error) {
+			r, err := analysis.DecodeLastArrivalRecord(rec)
+			if err != nil {
+				return nil, err
+			}
+			return lb.feElems[r.Node], nil // unknown nodes filtered (nil)
+		})
+	lb.puller = lb.scope.StartPuller(lb.cfg.PullInterval, func(rep paths.Reply) error {
+		_, err := scatter.Op(nil, paths.Request{Kind: paths.OpWrite, Data: rep.Data})
+		return err
+	})
+	// Updater thread: reads the front-end buffers and maintains the
+	// weighted tree used by visualizations.
+	cursors := make(map[uint32]*pastset.Cursor, len(lb.feElems))
+	for id, e := range lb.feElems {
+		cursors[id] = e.NewCursor()
+	}
+	lb.wg.Add(1)
+	vclock.Go(func() {
+		defer lb.wg.Done()
+		var batch []pastset.Tuple
+		for {
+			idle := true
+			for id, cur := range cursors {
+				batch = cur.DrainInto(batch[:0])
+				for _, raw := range batch {
+					r, err := analysis.DecodeLastArrivalRecord(raw.Data)
+					if err != nil {
+						continue
+					}
+					idle = false
+					name := lb.names[id]
+					if lb.mode == Distributed {
+						// Cumulative counts: newest state wins.
+						lb.weighted.Set(name, int(r.Contributor), r.Count)
+					} else {
+						lb.weighted.Add(name, int(r.Contributor), r.Count)
+					}
+				}
+			}
+			select {
+			case <-lb.stop:
+				if idle {
+					return
+				}
+			default:
+			}
+			if idle {
+				hrtime.SleepUnscaled(100 * time.Microsecond)
+			}
+		}
+	})
+}
+
+// Stop halts all monitor threads.
+func (lb *LoadBalance) Stop() {
+	if lb.stopped {
+		return
+	}
+	lb.stopped = true
+	if lb.cs != nil {
+		lb.cs.CloseAll()
+	}
+	close(lb.stop)
+	if lb.puller != nil {
+		lb.puller.Stop()
+	}
+	lb.wg.Wait()
+	lb.scope.Close()
+}
+
+// Weighted returns the front-end weighted tree.
+func (lb *LoadBalance) Weighted() *WeightedTree { return lb.weighted }
+
+// Mode returns the monitor's mode.
+func (lb *LoadBalance) Mode() LoadBalanceMode { return lb.mode }
+
+// GatherRate reports the fraction of source tuples the monitor's event
+// scope read before they were discarded: raw trace tuples in single-scope
+// mode, intermediate result tuples in distributed mode (Tables 1 and 2).
+func (lb *LoadBalance) GatherRate() float64 { return lb.scope.GatherRate() }
+
+// TraceReadRate reports, in distributed mode, the fraction of trace
+// tuples the analysis threads read before discard.
+func (lb *LoadBalance) TraceReadRate() float64 {
+	if lb.mode == SingleScope {
+		return lb.scope.GatherRate()
+	}
+	var read, skipped uint64
+	for _, ha := range lb.hosts {
+		for _, st := range ha.nodes {
+			for _, cur := range st.cursors {
+				read += cur.Read()
+				skipped += cur.Skipped()
+			}
+		}
+	}
+	if read+skipped == 0 {
+		return 1
+	}
+	return float64(read) / float64(read+skipped)
+}
+
+// RoundsObserved returns the number of last-arrival observations applied
+// to the weighted tree (single-scope mode) — a liveness measure.
+func (lb *LoadBalance) RoundsObserved() uint64 { return lb.weighted.Total() }

@@ -1,0 +1,238 @@
+// Package monitor implements the paper's two monitors (section 4.3): the
+// load-balance monitor — in both its single-event-scope and distributed-
+// analysis forms (figure 3) — and the statistics monitor statsm
+// (figure 4), including the coscheduling of analysis threads with the
+// monitored application's computation and communication threads.
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"eventspace/internal/analysis"
+	"eventspace/internal/cosched"
+)
+
+// Config holds the knobs shared by the monitors.
+type Config struct {
+	// GatewayHelpers / RootHelpers configure parallel gathering in the
+	// monitor's event scopes (0 = sequential): the paper's
+	// "sequential" vs "parallel" rows.
+	GatewayHelpers int
+	RootHelpers    int
+	// PullInterval is the gather thread's pacing (modelled time;
+	// 0 pulls continuously).
+	PullInterval time.Duration
+	// AnalysisCostPerTuple is the modelled CPU occupancy an analysis
+	// thread charges its host per trace tuple processed, standing in
+	// for the statistics computation cost on the paper's hosts.
+	AnalysisCostPerTuple time.Duration
+	// AnalysisInterval paces distributed analysis threads between
+	// batches (modelled time).
+	AnalysisInterval time.Duration
+	// Strategy coschedules analysis threads with the application
+	// (statsm experiments; cosched.None reproduces the 5-9% rows).
+	Strategy cosched.Strategy
+	// IntermediateCap sizes intermediate-result buffers (the paper uses
+	// one megabyte: 5000 tuples).
+	IntermediateCap int
+	// ThreadsPerHost runs this many analysis threads on each host
+	// (section 6.3.1 tries two); 0 means one.
+	ThreadsPerHost int
+	// TCPStatsAt selects where TCP/IP connection statistics are
+	// computed (statsm); TCPStatsOff disables them.
+	TCPStatsAt TCPStatsPlacement
+	// MedianWindow sizes the NWS sliding-window median (default 100).
+	MedianWindow int
+	// ReadBatch bounds how many records one event-scope read returns per
+	// source buffer (default 1, matching PastSet's one-tuple-per-read
+	// operation — the property that makes sequential gathering too slow
+	// in Tables 1-3). 0 keeps the default; negative drains fully.
+	ReadBatch int
+}
+
+// TCPStatsPlacement selects the host that computes a connection's
+// statistics (section 6.3.1: moving the computation from the source to the
+// destination host changed statsm's overhead).
+type TCPStatsPlacement int
+
+// TCP statistics placements. The path direction runs from the thread to
+// the PastSet buffer, so the stub side is the source and the
+// communication-thread side the destination.
+const (
+	TCPStatsOff TCPStatsPlacement = iota
+	TCPStatsAtSource
+	TCPStatsAtDestination
+)
+
+// DefaultConfig returns the configuration the paper converged on:
+// parallel gathering, coscheduling strategy 2, TCP statistics at the
+// destination, one analysis thread per host.
+func DefaultConfig() Config {
+	return Config{
+		GatewayHelpers:       4,
+		RootHelpers:          4,
+		AnalysisCostPerTuple: 6 * time.Microsecond,
+		Strategy:             cosched.AfterUnblock,
+		IntermediateCap:      5000,
+		TCPStatsAt:           TCPStatsAtDestination,
+	}
+}
+
+func (c *Config) intermediateCap() int {
+	if c.IntermediateCap <= 0 {
+		return 5000
+	}
+	return c.IntermediateCap
+}
+
+func (c *Config) readBatch() int {
+	switch {
+	case c.ReadBatch == 0:
+		return 1
+	case c.ReadBatch < 0:
+		return 0 // drain fully
+	default:
+		return c.ReadBatch
+	}
+}
+
+func (c *Config) analysisThreads() int {
+	if c.ThreadsPerHost <= 0 {
+		return 1
+	}
+	return c.ThreadsPerHost
+}
+
+// WeightedTree is the front-end structure the load-balance monitor
+// maintains: for every collective wrapper, how many times each contributor
+// arrived last. Visualizations weight the spanning-tree edges with it.
+type WeightedTree struct {
+	mu    sync.RWMutex
+	nodes map[string]map[int]uint64 // node name -> contributor -> last-arrival count
+}
+
+// NewWeightedTree returns an empty weighted tree.
+func NewWeightedTree() *WeightedTree {
+	return &WeightedTree{nodes: make(map[string]map[int]uint64)}
+}
+
+// Add folds last-arrival counts for a node's contributor.
+func (w *WeightedTree) Add(node string, contributor int, n uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m, ok := w.nodes[node]
+	if !ok {
+		m = make(map[int]uint64)
+		w.nodes[node] = m
+	}
+	m[contributor] += n
+}
+
+// Set overwrites the count (used with cumulative intermediate results,
+// where only the newest state matters).
+func (w *WeightedTree) Set(node string, contributor int, n uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m, ok := w.nodes[node]
+	if !ok {
+		m = make(map[int]uint64)
+		w.nodes[node] = m
+	}
+	m[contributor] = n
+}
+
+// Count returns a node contributor's last-arrival count.
+func (w *WeightedTree) Count(node string, contributor int) uint64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.nodes[node][contributor]
+}
+
+// Nodes returns the node names present.
+func (w *WeightedTree) Nodes() []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make([]string, 0, len(w.nodes))
+	for n := range w.nodes {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Counts returns a copy of one node's contributor counts.
+func (w *WeightedTree) Counts(node string) map[int]uint64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make(map[int]uint64, len(w.nodes[node]))
+	for k, v := range w.nodes[node] {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns the sum of all counts (≈ observed rounds across nodes).
+func (w *WeightedTree) Total() uint64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var n uint64
+	for _, m := range w.nodes {
+		for _, v := range m {
+			n += v
+		}
+	}
+	return n
+}
+
+// AnalysisTree is the front-end structure statsm's updater maintains: the
+// newest statistics record per (wrapper id, latency kind). Visualization
+// threads read it.
+type AnalysisTree struct {
+	mu      sync.RWMutex
+	records map[uint32]map[uint8]analysis.StatsRecord
+	updates uint64
+}
+
+// NewAnalysisTree returns an empty analysis tree.
+func NewAnalysisTree() *AnalysisTree {
+	return &AnalysisTree{records: make(map[uint32]map[uint8]analysis.StatsRecord)}
+}
+
+// Update installs a newer record.
+func (a *AnalysisTree) Update(r analysis.StatsRecord) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m, ok := a.records[r.ID]
+	if !ok {
+		m = make(map[uint8]analysis.StatsRecord)
+		a.records[r.ID] = m
+	}
+	m[r.Kind] = r
+	a.updates++
+}
+
+// Get returns the newest record for (id, kind).
+func (a *AnalysisTree) Get(id uint32, kind int) (analysis.StatsRecord, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	r, ok := a.records[id][uint8(kind)]
+	return r, ok
+}
+
+// IDs returns the wrapper ids present.
+func (a *AnalysisTree) IDs() []uint32 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]uint32, 0, len(a.records))
+	for id := range a.records {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Updates counts record installations (monotone; used to check liveness).
+func (a *AnalysisTree) Updates() uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.updates
+}

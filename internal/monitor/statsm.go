@@ -1,0 +1,551 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"eventspace/internal/analysis"
+	"eventspace/internal/cluster"
+	"eventspace/internal/collect"
+	"eventspace/internal/cosched"
+	"eventspace/internal/escope"
+	"eventspace/internal/hrtime"
+	"eventspace/internal/pastset"
+	"eventspace/internal/paths"
+	"eventspace/internal/vclock"
+	"eventspace/internal/vnet"
+)
+
+// Statsm is the statistics monitor (section 4.3, figure 4): per-host
+// analysis threads compute the full per-wrapper statistics — mean,
+// minimum, maximum, standard deviation and NWS sliding-window median of
+// the up, down and total latencies, the arrival/departure wait times, and
+// the two-way TCP/IP latencies — and store them in result buffers that two
+// gather threads move to the front-end.
+type Statsm struct {
+	cfg  Config
+	tree *cluster.Tree
+	fe   *vnet.Host
+	cs   *cosched.Set
+
+	hosts []*statsHost
+
+	wrapperScope *escope.Scope
+	threadScope  *escope.Scope
+	wrapperPull  *escope.Puller
+	threadPull   *escope.Puller
+
+	atree *AnalysisTree
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	stopped bool
+}
+
+// statsHost is one host's analysis state. Multiple analysis threads on the
+// host share it under mu (section 6.3.1 runs two threads per host).
+type statsHost struct {
+	host *vnet.Host
+	mu   sync.Mutex
+
+	nodes []*statsNode
+	links []*statsLink
+	// nextLink round-robins the links' remote trace reads: one remote
+	// read per analysis batch, so a batch fits inside a coscheduling
+	// window instead of spanning several collective rounds.
+	nextLink int
+	// batches counts analysis passes; per-thread records are published
+	// every few batches (they are "not always needed").
+	batches uint64
+
+	wrapperElem *pastset.Element
+	threadElem  *pastset.Element
+
+	conns []*vnet.Conn
+}
+
+// statsNode carries one collective wrapper's statistics.
+type statsNode struct {
+	node    *cluster.Node
+	joiner  *analysis.Joiner
+	cursors []*pastset.Cursor // contributor EC buffers
+	collCur *pastset.Cursor   // collective EC buffer
+
+	down, up, total  *analysis.Stream
+	arrWait, depWait *analysis.Stream
+	perThreadArr     []*analysis.Stream
+	perThreadDep     []*analysis.Stream
+	rounds           uint64
+	dirty            bool
+}
+
+// statsLink carries one connection's TCP latency statistics. The local
+// side's tuples are read from the local trace buffer; the peer side's are
+// pulled over the link's own monitor connection — the remote reads that
+// dominate statsm's uncoscheduled overhead in the paper.
+type statsLink struct {
+	link     *cluster.Link
+	localCur *pastset.Cursor
+	remote   paths.Wrapper // batch reader on the peer, behind a stub
+	// localIsClient records which side of the latency formula the
+	// local tuples are.
+	localIsClient bool
+	pendingLocal  map[uint32]collect.TraceTuple
+	pendingRemote map[uint32]collect.TraceTuple
+	stream        *analysis.Stream
+	samples       uint64
+	dirty         bool
+}
+
+// NewStatsm builds the statistics monitor over an instrumented tree.
+func NewStatsm(tb *cluster.Testbed, tree *cluster.Tree, cfg Config, cs *cosched.Set) (*Statsm, error) {
+	if !tree.Spec.Instrument {
+		return nil, fmt.Errorf("monitor: statsm needs an instrumented tree")
+	}
+	sm := &Statsm{
+		cfg:   cfg,
+		tree:  tree,
+		fe:    tb.FrontEnd,
+		cs:    cs,
+		atree: NewAnalysisTree(),
+		stop:  make(chan struct{}),
+	}
+	win := cfg.MedianWindow
+	if win <= 0 {
+		win = analysis.DefaultMedianWindow
+	}
+	byHost := make(map[*vnet.Host]*statsHost)
+	var order []*vnet.Host
+	hostFor := func(h *vnet.Host) (*statsHost, error) {
+		sh, ok := byHost[h]
+		if ok {
+			return sh, nil
+		}
+		we, err := h.Registry.Create(fmt.Sprintf("statsm/w/%s/%s", tree.Name, h.Name()), cfg.intermediateCap())
+		if err != nil {
+			return nil, err
+		}
+		te, err := h.Registry.Create(fmt.Sprintf("statsm/t/%s/%s", tree.Name, h.Name()), cfg.intermediateCap())
+		if err != nil {
+			return nil, err
+		}
+		sh = &statsHost{host: h, wrapperElem: we, threadElem: te}
+		byHost[h] = sh
+		order = append(order, h)
+		return sh, nil
+	}
+
+	for _, n := range tree.Nodes {
+		sh, err := hostFor(n.Host)
+		if err != nil {
+			return nil, err
+		}
+		k := n.AR.Fanin()
+		st := &statsNode{
+			node:    n,
+			collCur: n.CollectiveEC.Buffer().NewCursor(),
+			down:    analysis.NewStream(win),
+			up:      analysis.NewStream(win),
+			total:   analysis.NewStream(win),
+			arrWait: analysis.NewStream(win),
+			depWait: analysis.NewStream(win),
+		}
+		for i := 0; i < k; i++ {
+			st.cursors = append(st.cursors, n.ContribECs[i].Buffer().NewCursor())
+			st.perThreadArr = append(st.perThreadArr, analysis.NewStream(win))
+			st.perThreadDep = append(st.perThreadDep, analysis.NewStream(win))
+		}
+		st.joiner, err = analysis.NewJoiner(k, 256, func(m analysis.RoundMetrics) {
+			st.rounds++
+			st.dirty = true
+			for _, c := range m.Per {
+				st.down.Add(float64(c.Down) / float64(time.Microsecond))
+				st.up.Add(float64(c.Up) / float64(time.Microsecond))
+				st.total.Add(float64(c.Total) / float64(time.Microsecond))
+				st.arrWait.Add(float64(c.ArrivalWait) / float64(time.Microsecond))
+				st.depWait.Add(float64(c.DepartureWait) / float64(time.Microsecond))
+				st.perThreadArr[c.Contributor].Add(float64(c.ArrivalWait) / float64(time.Microsecond))
+				st.perThreadDep[c.Contributor].Add(float64(c.DepartureWait) / float64(time.Microsecond))
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		sh.nodes = append(sh.nodes, st)
+	}
+
+	if cfg.TCPStatsAt != TCPStatsOff {
+		for _, lk := range tree.Links {
+			statsSide, peerSide := lk.To, lk.From // destination computes
+			localEC, remoteEC := lk.ServerEC, lk.ClientEC
+			localIsClient := false
+			if cfg.TCPStatsAt == TCPStatsAtSource {
+				statsSide, peerSide = lk.From, lk.To
+				localEC, remoteEC = lk.ClientEC, lk.ServerEC
+				localIsClient = true
+			}
+			sh, err := hostFor(statsSide)
+			if err != nil {
+				return nil, err
+			}
+			// The analysis thread reads the peer's trace buffer over
+			// its own connection.
+			rd := paths.NewBatchReader("statsm/peer("+lk.Name+")", peerSide, remoteEC.Buffer(), collect.TupleSize, 0)
+			svc := paths.NewService()
+			target := svc.Register(rd)
+			conn := tb.Net.Dial(statsSide, peerSide, svc.Handler())
+			sh.conns = append(sh.conns, conn)
+			sh.links = append(sh.links, &statsLink{
+				link:          lk,
+				localCur:      localEC.Buffer().NewCursor(),
+				remote:        paths.NewRemote("statsm/stub("+lk.Name+")", statsSide, conn, target),
+				localIsClient: localIsClient,
+				pendingLocal:  make(map[uint32]collect.TraceTuple),
+				pendingRemote: make(map[uint32]collect.TraceTuple),
+				stream:        analysis.NewStream(win),
+			})
+		}
+	}
+
+	for _, h := range order {
+		sm.hosts = append(sm.hosts, byHost[h])
+	}
+
+	var werr error
+	sm.wrapperScope, werr = escope.Build(tb.Net, escope.Spec{
+		Name:           "statsm/wscope/" + tree.Name,
+		FrontEnd:       tb.FrontEnd,
+		GatewayHelpers: cfg.GatewayHelpers,
+		RootHelpers:    cfg.RootHelpers,
+		Sources:        statsSources(order, byHost, false, cfg.readBatch()),
+	})
+	if werr != nil {
+		return nil, werr
+	}
+	sm.threadScope, werr = escope.Build(tb.Net, escope.Spec{
+		Name:           "statsm/tscope/" + tree.Name,
+		FrontEnd:       tb.FrontEnd,
+		GatewayHelpers: cfg.GatewayHelpers,
+		RootHelpers:    cfg.RootHelpers,
+		Sources:        statsSources(order, byHost, true, cfg.readBatch()),
+	})
+	if werr != nil {
+		return nil, werr
+	}
+	return sm, nil
+}
+
+func statsSources(order []*vnet.Host, byHost map[*vnet.Host]*statsHost, thread bool, batchCap int) []escope.Source {
+	var out []escope.Source
+	for _, h := range order {
+		sh := byHost[h]
+		elem := sh.wrapperElem
+		if thread {
+			elem = sh.threadElem
+		}
+		out = append(out, escope.Source{Host: h, Elem: elem, RecSize: analysis.StatsRecordSize, BatchCap: batchCap})
+	}
+	return out
+}
+
+// analysisBatch drains and processes everything available on one host.
+// It returns the number of trace tuples processed. Blocking work (the
+// remote trace read and the modelled analysis CPU occupancy) happens
+// outside the host lock so a second analysis thread is never stalled
+// behind a sleeping one.
+func (sm *Statsm) analysisBatch(sh *statsHost, batch *[]pastset.Tuple) int {
+	sh.mu.Lock()
+	processed := 0
+
+	for _, st := range sh.nodes {
+		*batch = st.collCur.DrainInto((*batch)[:0])
+		for _, raw := range *batch {
+			if tu, err := collect.Decode(raw.Data); err == nil {
+				st.joiner.AddCollective(tu)
+				processed++
+			}
+		}
+		for i, cur := range st.cursors {
+			*batch = cur.DrainInto((*batch)[:0])
+			for _, raw := range *batch {
+				if tu, err := collect.Decode(raw.Data); err == nil {
+					st.joiner.AddContributor(i, tu)
+					processed++
+				}
+			}
+		}
+	}
+
+	// Drain the links' local trace buffers and pick which peers to read
+	// remotely this batch. Free-running analysis threads read every
+	// peer sequentially per pass, exactly like the paper's statsm
+	// ("it reads from 8 hosts sequentially") — the behaviour behind its
+	// 5-9% overhead. Coscheduled threads round-robin one link per
+	// window so a batch stays short enough to fit it.
+	var chosen []*statsLink
+	if len(sh.links) > 0 {
+		if sm.cfg.Strategy == cosched.None {
+			chosen = sh.links
+		} else {
+			chosen = sh.links[sh.nextLink%len(sh.links) : sh.nextLink%len(sh.links)+1]
+			sh.nextLink++
+		}
+	}
+	sh.batches++
+	for _, ls := range sh.links {
+		*batch = ls.localCur.DrainInto((*batch)[:0])
+		for _, raw := range *batch {
+			if tu, err := collect.Decode(raw.Data); err == nil {
+				ls.pendingLocal[tu.Seq] = tu
+				processed++
+			}
+		}
+	}
+	sh.mu.Unlock()
+
+	// Remote reads of the peers' tuples: real monitor traffic over the
+	// network, contending with the application.
+	remote := make(map[*statsLink][]collect.TraceTuple, len(chosen))
+	for _, ls := range chosen {
+		rep, err := ls.remote.Op(&paths.Ctx{Thread: "statsm"}, paths.Request{Kind: paths.OpRead})
+		if err == nil {
+			if tuples, err := collect.DecodeAll(rep.Data); err == nil {
+				remote[ls] = tuples
+			}
+		}
+	}
+
+	sh.mu.Lock()
+	for ls, tuples := range remote {
+		for _, tu := range tuples {
+			ls.pendingRemote[tu.Seq] = tu
+			processed++
+		}
+	}
+	for _, ls := range sh.links {
+		for seq, lt := range ls.pendingLocal {
+			rt, ok := ls.pendingRemote[seq]
+			if !ok {
+				continue
+			}
+			delete(ls.pendingLocal, seq)
+			delete(ls.pendingRemote, seq)
+			client, server := rt, lt
+			if ls.localIsClient {
+				client, server = lt, rt
+			}
+			lat := analysis.TCPLatency(client, server)
+			ls.stream.Add(float64(lat) / float64(time.Microsecond))
+			ls.samples++
+			ls.dirty = true
+		}
+		// Bound the pending maps against permanently lost halves.
+		if len(ls.pendingLocal) > 4096 {
+			ls.pendingLocal = make(map[uint32]collect.TraceTuple)
+		}
+		if len(ls.pendingRemote) > 4096 {
+			ls.pendingRemote = make(map[uint32]collect.TraceTuple)
+		}
+	}
+
+	// Publish result records for everything that changed.
+	for _, st := range sh.nodes {
+		if !st.dirty {
+			continue
+		}
+		st.dirty = false
+		id := st.node.CollectiveEC.ID()
+		for kind, str := range map[int]*analysis.Stream{
+			analysis.KindDown:          st.down,
+			analysis.KindUp:            st.up,
+			analysis.KindTotal:         st.total,
+			analysis.KindArrivalWait:   st.arrWait,
+			analysis.KindDepartureWait: st.depWait,
+		} {
+			rec := analysis.StatsRecordFrom(id, kind, str.Snapshot())
+			if _, err := sh.wrapperElem.Write(rec.Encode()); err != nil {
+				break
+			}
+		}
+		// Per-thread statistics "are not always needed": publish them
+		// at half the wrapper-statistics rate.
+		if sh.batches%2 == 0 {
+			for i := range st.perThreadArr {
+				ecID := st.node.ContribECs[i].ID()
+				ra := analysis.StatsRecordFrom(ecID, analysis.KindArrivalWait, st.perThreadArr[i].Snapshot())
+				rd := analysis.StatsRecordFrom(ecID, analysis.KindDepartureWait, st.perThreadDep[i].Snapshot())
+				if _, err := sh.threadElem.Write(ra.Encode()); err != nil {
+					break
+				}
+				if _, err := sh.threadElem.Write(rd.Encode()); err != nil {
+					break
+				}
+			}
+		}
+	}
+	for _, ls := range sh.links {
+		if !ls.dirty {
+			continue
+		}
+		ls.dirty = false
+		rec := analysis.StatsRecordFrom(ls.link.ClientEC.ID(), analysis.KindTCP, ls.stream.Snapshot())
+		if _, err := sh.wrapperElem.Write(rec.Encode()); err != nil {
+			break
+		}
+	}
+	sh.mu.Unlock()
+
+	// The statistics computation costs CPU on the analysed host.
+	if processed > 0 && sm.cfg.AnalysisCostPerTuple > 0 {
+		sh.host.Occupy(time.Duration(processed) * sm.cfg.AnalysisCostPerTuple)
+	}
+	return processed
+}
+
+// analysisLoop is one analysis thread.
+func (sm *Statsm) analysisLoop(sh *statsHost) {
+	defer sm.wg.Done()
+	var waiter *cosched.Waiter
+	if sm.cs != nil {
+		waiter = sm.cs.For(sh.host).NewWaiter()
+	}
+	var batch []pastset.Tuple
+	for {
+		select {
+		case <-sm.stop:
+			return
+		default:
+		}
+		if waiter != nil && !waiter.Await() {
+			return
+		}
+		if sm.analysisBatch(sh, &batch) == 0 {
+			// Back off on an empty trace buffer (the paper's threads
+			// block in the PastSet read).
+			hrtime.SleepUnscaled(50 * time.Microsecond)
+		}
+		if sm.cfg.AnalysisInterval > 0 {
+			hrtime.Sleep(sm.cfg.AnalysisInterval)
+		}
+	}
+}
+
+// StartAnalysisOnly launches only the per-host analysis threads, without
+// the gather threads — the configuration behind Table 3's "Analysis
+// threads" overhead rows.
+func (sm *Statsm) StartAnalysisOnly() {
+	for _, sh := range sm.hosts {
+		sh := sh
+		for i := 0; i < sm.cfg.analysisThreads(); i++ {
+			sm.wg.Add(1)
+			vclock.Go(func() { sm.analysisLoop(sh) })
+		}
+	}
+}
+
+// Start launches the analysis threads and both gather threads.
+func (sm *Statsm) Start() {
+	sm.StartAnalysisOnly()
+	sink := func(rep paths.Reply) error {
+		recs, err := analysis.DecodeStatsRecords(rep.Data)
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			sm.atree.Update(r)
+		}
+		return nil
+	}
+	sm.wrapperPull = sm.wrapperScope.StartPuller(sm.cfg.PullInterval, sink)
+	sm.threadPull = sm.threadScope.StartPuller(sm.cfg.PullInterval, sink)
+}
+
+// Stop halts all monitor threads.
+func (sm *Statsm) Stop() {
+	if sm.stopped {
+		return
+	}
+	sm.stopped = true
+	if sm.cs != nil {
+		sm.cs.CloseAll()
+	}
+	close(sm.stop)
+	if sm.wrapperPull != nil {
+		sm.wrapperPull.Stop()
+	}
+	if sm.threadPull != nil {
+		sm.threadPull.Stop()
+	}
+	sm.wg.Wait()
+	sm.wrapperScope.Close()
+	sm.threadScope.Close()
+	for _, sh := range sm.hosts {
+		for _, c := range sh.conns {
+			c.Close()
+		}
+	}
+}
+
+// Tree returns the front-end analysis tree.
+func (sm *Statsm) Tree() *AnalysisTree { return sm.atree }
+
+// WrapperGatherRate reports the fraction of wrapper-statistics records
+// gathered before discard (Table 3, "Wrapper").
+func (sm *Statsm) WrapperGatherRate() float64 { return sm.wrapperScope.GatherRate() }
+
+// ThreadGatherRate reports the fraction of per-thread statistics records
+// gathered before discard (Table 3, "Thread").
+func (sm *Statsm) ThreadGatherRate() float64 { return sm.threadScope.GatherRate() }
+
+// TraceReadRate reports the fraction of trace tuples the analysis threads
+// read before the bounded trace buffers discarded them.
+func (sm *Statsm) TraceReadRate() float64 {
+	var read, skipped uint64
+	for _, sh := range sm.hosts {
+		sh.mu.Lock()
+		for _, st := range sh.nodes {
+			read += st.collCur.Read()
+			skipped += st.collCur.Skipped()
+			for _, cur := range st.cursors {
+				read += cur.Read()
+				skipped += cur.Skipped()
+			}
+		}
+		for _, ls := range sh.links {
+			read += ls.localCur.Read()
+			skipped += ls.localCur.Skipped()
+		}
+		sh.mu.Unlock()
+	}
+	if read+skipped == 0 {
+		return 1
+	}
+	return float64(read) / float64(read+skipped)
+}
+
+// RoundsAnalyzed sums the completed rounds over all wrappers.
+func (sm *Statsm) RoundsAnalyzed() uint64 {
+	var n uint64
+	for _, sh := range sm.hosts {
+		sh.mu.Lock()
+		for _, st := range sh.nodes {
+			n += st.rounds
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// TCPSamples sums the TCP latency samples over all links.
+func (sm *Statsm) TCPSamples() uint64 {
+	var n uint64
+	for _, sh := range sm.hosts {
+		sh.mu.Lock()
+		for _, ls := range sh.links {
+			n += ls.samples
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}

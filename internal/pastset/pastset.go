@@ -1,0 +1,364 @@
+// Package pastset implements the PastSet structured shared memory system
+// that the PATHS communication system and EventSpace are layered on.
+//
+// PastSet (Vinter, 1999) lets threads communicate by reading and writing
+// tuples to named shared-memory buffers called elements. This reproduction
+// implements the subset the paper depends on: bounded elements that discard
+// the oldest tuple when a capacity threshold is exceeded, blocking writes
+// (mutex + memory copy), blocking reads with per-reader cursors, and a
+// per-host registry of elements.
+//
+// The gather-rate accounting central to the paper's Tables 1-3 lives here:
+// each element counts tuples written and tuples lost to overwrite, and each
+// cursor counts tuples delivered and tuples skipped because the reader fell
+// behind the retained window.
+package pastset
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"eventspace/internal/vclock"
+)
+
+// Common errors returned by element operations.
+var (
+	// ErrClosed is returned once an element has been closed and no
+	// further tuples will arrive.
+	ErrClosed = errors.New("pastset: element closed")
+	// ErrEmpty is returned by non-blocking reads when no tuple is ready.
+	ErrEmpty = errors.New("pastset: element empty")
+	// ErrExists is returned when creating an element under a taken name.
+	ErrExists = errors.New("pastset: element already exists")
+	// ErrNotFound is returned when looking up an unknown element.
+	ErrNotFound = errors.New("pastset: element not found")
+)
+
+// Tuple is the unit of storage: an opaque payload stamped with the
+// element-assigned sequence number. Payload bytes are owned by the element
+// after Write and by the reader after a read; neither side may mutate them
+// afterwards.
+type Tuple struct {
+	Seq  uint64
+	Data []byte
+}
+
+// Stats is a snapshot of an element's traffic counters.
+type Stats struct {
+	Written     uint64 // tuples ever written
+	Overwritten uint64 // tuples lost to the bounded-buffer overwrite policy
+	Retained    int    // tuples currently held
+	Capacity    int
+}
+
+// Element is a named bounded tuple buffer. The zero value is not usable;
+// create elements with NewElement or Registry.Create.
+type Element struct {
+	name string
+	cap  int
+
+	mu     sync.Mutex
+	cond   *vclock.Cond
+	ring   []Tuple
+	first  uint64 // sequence number of the oldest retained tuple
+	next   uint64 // sequence number the next write will receive
+	lost   uint64 // tuples discarded by the overwrite policy
+	closed bool
+}
+
+// NewElement creates a bounded element. Capacity must be at least 1.
+func NewElement(name string, capacity int) (*Element, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("pastset: element %q: capacity %d < 1", name, capacity)
+	}
+	e := &Element{name: name, cap: capacity, ring: make([]Tuple, capacity)}
+	e.cond = vclock.NewCond(&e.mu)
+	return e, nil
+}
+
+// MustNewElement is NewElement that panics on a bad capacity; for use in
+// topology construction where capacities are compile-time constants.
+func MustNewElement(name string, capacity int) *Element {
+	e, err := NewElement(name, capacity)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Name returns the element's name.
+func (e *Element) Name() string { return e.name }
+
+// Capacity returns the overwrite threshold.
+func (e *Element) Capacity() int { return e.cap }
+
+// Write appends a tuple, discarding the oldest retained tuple if the
+// element is at capacity, and returns the assigned sequence number.
+// This is the paper's blocking PastSet write: a mutex acquisition, a small
+// memory copy, and a wakeup of blocked readers.
+func (e *Element) Write(data []byte) (uint64, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return 0, ErrClosed
+	}
+	seq := e.next
+	if int(e.next-e.first) == e.cap {
+		// Overwrite the oldest tuple.
+		e.first++
+		e.lost++
+	}
+	e.ring[seq%uint64(e.cap)] = Tuple{Seq: seq, Data: data}
+	e.next++
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	return seq, nil
+}
+
+// Len reports the number of retained tuples.
+func (e *Element) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return int(e.next - e.first)
+}
+
+// Stats returns a snapshot of the element's counters.
+func (e *Element) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Written:     e.next,
+		Overwritten: e.lost,
+		Retained:    int(e.next - e.first),
+		Capacity:    e.cap,
+	}
+}
+
+// Latest returns the newest retained tuple without consuming anything.
+func (e *Element) Latest() (Tuple, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.next == e.first {
+		if e.closed {
+			return Tuple{}, ErrClosed
+		}
+		return Tuple{}, ErrEmpty
+	}
+	return e.ring[(e.next-1)%uint64(e.cap)], nil
+}
+
+// Close marks the element closed and wakes all blocked readers. Subsequent
+// writes fail with ErrClosed; reads drain retained tuples and then fail
+// with ErrClosed.
+func (e *Element) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// Closed reports whether Close has been called.
+func (e *Element) Closed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+// at returns the retained tuple with sequence number seq; caller holds mu.
+func (e *Element) at(seq uint64) Tuple {
+	return e.ring[seq%uint64(e.cap)]
+}
+
+// Cursor is a per-reader position into an element's tuple stream. Cursors
+// are independent: every reader sees every tuple that is still retained
+// when it reads. A cursor that falls behind the retained window skips
+// forward to the oldest retained tuple and records the gap.
+//
+// A Cursor must not be used concurrently from multiple goroutines.
+type Cursor struct {
+	e       *Element
+	pos     uint64 // next sequence number to deliver
+	read    uint64 // tuples delivered through this cursor
+	skipped uint64 // tuples this cursor missed due to overwrite
+}
+
+// NewCursor returns a cursor positioned at the oldest retained tuple.
+func (e *Element) NewCursor() *Cursor {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return &Cursor{e: e, pos: e.first}
+}
+
+// NewCursorAtEnd returns a cursor that will only see tuples written after
+// this call.
+func (e *Element) NewCursorAtEnd() *Cursor {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return &Cursor{e: e, pos: e.next}
+}
+
+// Element returns the element this cursor reads from.
+func (c *Cursor) Element() *Element { return c.e }
+
+// advance normalizes the cursor against the retained window; caller holds mu.
+func (c *Cursor) advance() {
+	if c.pos < c.e.first {
+		c.skipped += c.e.first - c.pos
+		c.pos = c.e.first
+	}
+}
+
+// TryNext returns the next tuple without blocking. It returns ErrEmpty when
+// the reader has consumed everything currently retained, and ErrClosed when
+// the element is closed and drained.
+func (c *Cursor) TryNext() (Tuple, error) {
+	c.e.mu.Lock()
+	defer c.e.mu.Unlock()
+	c.advance()
+	if c.pos == c.e.next {
+		if c.e.closed {
+			return Tuple{}, ErrClosed
+		}
+		return Tuple{}, ErrEmpty
+	}
+	t := c.e.at(c.pos)
+	c.pos++
+	c.read++
+	return t, nil
+}
+
+// Next returns the next tuple, blocking until one is available or the
+// element is closed and drained.
+func (c *Cursor) Next() (Tuple, error) {
+	c.e.mu.Lock()
+	defer c.e.mu.Unlock()
+	for {
+		c.advance()
+		if c.pos < c.e.next {
+			t := c.e.at(c.pos)
+			c.pos++
+			c.read++
+			return t, nil
+		}
+		if c.e.closed {
+			return Tuple{}, ErrClosed
+		}
+		c.e.cond.Wait()
+	}
+}
+
+// DrainInto appends all currently retained unread tuples to dst and returns
+// the extended slice. It never blocks.
+func (c *Cursor) DrainInto(dst []Tuple) []Tuple {
+	c.e.mu.Lock()
+	defer c.e.mu.Unlock()
+	c.advance()
+	for c.pos < c.e.next {
+		dst = append(dst, c.e.at(c.pos))
+		c.pos++
+		c.read++
+	}
+	return dst
+}
+
+// Read reports the number of tuples delivered through this cursor.
+func (c *Cursor) Read() uint64 { return c.read }
+
+// Skipped reports the number of tuples this cursor missed because they were
+// overwritten before it read them.
+func (c *Cursor) Skipped() uint64 { return c.skipped }
+
+// Rate returns the fraction of the tuple stream this cursor observed:
+// delivered / (delivered + skipped). A reader that kept up fully returns 1.
+// With no traffic it returns 1 (nothing was missed).
+func (c *Cursor) Rate() float64 {
+	total := c.read + c.skipped
+	if total == 0 {
+		return 1
+	}
+	return float64(c.read) / float64(total)
+}
+
+// Lag reports how many retained tuples the cursor has not yet delivered.
+func (c *Cursor) Lag() int {
+	c.e.mu.Lock()
+	defer c.e.mu.Unlock()
+	pos := c.pos
+	if pos < c.e.first {
+		pos = c.e.first
+	}
+	return int(c.e.next - pos)
+}
+
+// Registry is a per-host namespace of elements: the host's PastSet server.
+type Registry struct {
+	mu    sync.RWMutex
+	elems map[string]*Element
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{elems: make(map[string]*Element)}
+}
+
+// Create creates and registers a new element.
+func (r *Registry) Create(name string, capacity int) (*Element, error) {
+	e, err := NewElement(name, capacity)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.elems[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	r.elems[name] = e
+	return e, nil
+}
+
+// Lookup finds a registered element by name.
+func (r *Registry) Lookup(name string) (*Element, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.elems[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return e, nil
+}
+
+// Names returns the registered element names in unspecified order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.elems))
+	for n := range r.elems {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Remove unregisters and closes the named element.
+func (r *Registry) Remove(name string) error {
+	r.mu.Lock()
+	e, ok := r.elems[name]
+	if ok {
+		delete(r.elems, name)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	e.Close()
+	return nil
+}
+
+// CloseAll closes every registered element, waking all blocked readers.
+func (r *Registry) CloseAll() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, e := range r.elems {
+		e.Close()
+	}
+}

@@ -1,0 +1,138 @@
+package paths
+
+import (
+	"fmt"
+
+	"eventspace/internal/pastset"
+	"eventspace/internal/vclock"
+	"eventspace/internal/vnet"
+)
+
+// Gather reads from several child paths, concatenates their payloads and
+// returns one large tuple (section 4.2). The children are typically
+// BatchReaders over trace buffers, possibly behind Remote stubs on other
+// hosts.
+//
+// With helpers == 0 the children are read sequentially in the calling
+// thread's context. With helpers > 0 that many helper threads perform the
+// reads in parallel — the paper's knob for trading monitoring overhead
+// against gather performance (Tables 1-3, "sequential" vs "parallel").
+type Gather struct {
+	base
+	children []Wrapper
+	helpers  int
+}
+
+// NewGather creates a gather wrapper over the given children.
+func NewGather(name string, host *vnet.Host, children []Wrapper, helpers int) (*Gather, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("paths: gather %q: no children", name)
+	}
+	if helpers < 0 {
+		return nil, fmt.Errorf("paths: gather %q: helpers %d < 0", name, helpers)
+	}
+	return &Gather{base: base{name, host}, children: append([]Wrapper(nil), children...), helpers: helpers}, nil
+}
+
+// Helpers reports the helper-thread count (0 = sequential gathering).
+func (g *Gather) Helpers() int { return g.helpers }
+
+// Children returns the child wrappers.
+func (g *Gather) Children() []Wrapper { return g.children }
+
+// Op forwards the read to every child and concatenates the replies in
+// child order. Ret accumulates the children's record counts.
+func (g *Gather) Op(ctx *Ctx, req Request) (Reply, error) {
+	if req.Kind != OpRead {
+		return Reply{}, fmt.Errorf("paths: %s: unsupported op %v", g.name, req.Kind)
+	}
+	replies := make([]Reply, len(g.children))
+	errs := make([]error, len(g.children))
+	if g.helpers == 0 {
+		for i, c := range g.children {
+			replies[i], errs[i] = c.Op(ctx, req)
+		}
+	} else {
+		sem := vclock.NewSem(g.helpers)
+		wg := vclock.NewWaitGroup()
+		for i, c := range g.children {
+			i, c := i, c
+			wg.Add(1)
+			vclock.Go(func() {
+				defer wg.Done()
+				sem.Acquire()
+				defer sem.Release()
+				replies[i], errs[i] = c.Op(ctx, req)
+			})
+		}
+		wg.Wait()
+	}
+	var out Reply
+	var buf []byte
+	total := 0
+	for i := range replies {
+		if errs[i] != nil {
+			return Reply{}, fmt.Errorf("paths: %s: child %s: %w", g.name, g.children[i].Name(), errs[i])
+		}
+		buf = append(buf, replies[i].Data...)
+		total += int(replies[i].Ret)
+	}
+	out.Data = buf
+	out.Ret = int16(min(total, 1<<15-1))
+	return out, nil
+}
+
+// RouteFunc maps a fixed-size record to the PastSet element it should be
+// scattered into.
+type RouteFunc func(record []byte) (*pastset.Element, error)
+
+// Scatter divides a concatenated payload into fixed-size records and
+// writes each to the element chosen by the route function. The front-end
+// monitors use it to split a gathered tuple into per-wrapper buffers
+// (figure 3).
+type Scatter struct {
+	base
+	recSize int
+	route   RouteFunc
+}
+
+// NewScatter creates a scatter wrapper for recSize-byte records.
+func NewScatter(name string, host *vnet.Host, recSize int, route RouteFunc) (*Scatter, error) {
+	if recSize <= 0 {
+		return nil, fmt.Errorf("paths: scatter %q: record size %d", name, recSize)
+	}
+	if route == nil {
+		return nil, fmt.Errorf("paths: scatter %q: nil route", name)
+	}
+	return &Scatter{base: base{name, host}, recSize: recSize, route: route}, nil
+}
+
+// Op splits req.Data into records and writes each to its routed element.
+// Ret reports the record count.
+func (s *Scatter) Op(ctx *Ctx, req Request) (Reply, error) {
+	if req.Kind != OpWrite {
+		return Reply{}, fmt.Errorf("paths: %s: unsupported op %v", s.name, req.Kind)
+	}
+	if len(req.Data)%s.recSize != 0 {
+		return Reply{}, fmt.Errorf("paths: %s: payload %d bytes not a multiple of record size %d", s.name, len(req.Data), s.recSize)
+	}
+	n := 0
+	for off := 0; off < len(req.Data); off += s.recSize {
+		rec := req.Data[off : off+s.recSize]
+		elem, err := s.route(rec)
+		if err != nil {
+			return Reply{}, fmt.Errorf("paths: %s: %w", s.name, err)
+		}
+		if elem == nil {
+			continue // routed to nowhere: filtered out
+		}
+		// Copy: the element retains the record beyond this call.
+		cp := make([]byte, s.recSize)
+		copy(cp, rec)
+		if _, err := elem.Write(cp); err != nil {
+			return Reply{}, fmt.Errorf("paths: %s: %w", s.name, err)
+		}
+		n++
+	}
+	return Reply{Ret: int16(min(n, 1<<15-1))}, nil
+}

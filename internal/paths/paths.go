@@ -1,0 +1,264 @@
+// Package paths implements the PATHS communication system the monitored
+// applications use (Bjørndalen, 2003), as described in sections 3 and 4 of
+// the paper.
+//
+// Threads communicate through *paths*: chains of *wrappers* that start at a
+// thread and end in a PastSet buffer. Each wrapper runs code before and
+// after invoking the next wrapper in the path. Wrappers implement storage
+// (PastSet element access), data manipulation (reduction, filtering,
+// conversion), gathering and scattering, inter-host communication (a stub
+// forwarding operations to a communication thread on another host), and
+// collective operations (the allreduce wrapper that joins several
+// contributor paths into a spanning tree, and the all-to-all exchange used
+// between clusters on WAN multi-clusters).
+//
+// Spanning trees are configured by composing wrappers and choosing which
+// host each wrapper runs on; package cluster provides the generators for
+// the tree shapes used in the paper.
+package paths
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"eventspace/internal/pastset"
+	"eventspace/internal/vnet"
+)
+
+// OpKind is the PastSet operation type carried by a request. It is also
+// recorded in trace tuples.
+type OpKind uint16
+
+// Operation kinds.
+const (
+	OpWrite OpKind = iota + 1 // write a value/tuple (allreduce contributions are writes)
+	OpRead                    // read tuples (event scopes pull trace data)
+)
+
+// String returns the conventional name of the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	default:
+		return fmt.Sprintf("op(%d)", uint16(k))
+	}
+}
+
+// Request is an operation travelling down a path. Collective contributions
+// carry Value (the paper's benchmarks use 8-byte messages); event-scope
+// reads and gathers carry Data.
+type Request struct {
+	Kind  OpKind
+	Value int64
+	Data  []byte
+}
+
+// WireSize returns the modelled on-the-wire size of the request in bytes:
+// a small header plus the payload.
+func (r Request) WireSize() int { return 16 + len(r.Data) }
+
+// Reply is the result travelling back up a path.
+type Reply struct {
+	Value int64
+	Data  []byte
+	Ret   int16 // return code recorded in trace tuples (e.g. tuple count)
+}
+
+// WireSize returns the modelled on-the-wire size of the reply in bytes.
+func (r Reply) WireSize() int { return 16 + len(r.Data) }
+
+// Ctx identifies the thread performing an operation. It travels with the
+// operation, including across hosts.
+type Ctx struct {
+	Thread string
+}
+
+// Wrapper is one stage in a path.
+type Wrapper interface {
+	// Name identifies the wrapper in configurations and visualizations.
+	Name() string
+	// Host is the host whose resources the wrapper's code uses.
+	Host() *vnet.Host
+	// Op performs the operation, usually delegating to the next wrapper.
+	Op(ctx *Ctx, req Request) (Reply, error)
+}
+
+// Path is a thread's entry into the communication system: a named head
+// wrapper.
+type Path struct {
+	name string
+	head Wrapper
+}
+
+// NewPath names a wrapper chain.
+func NewPath(name string, head Wrapper) *Path {
+	return &Path{name: name, head: head}
+}
+
+// Name returns the path's name.
+func (p *Path) Name() string { return p.name }
+
+// Head returns the first wrapper of the path.
+func (p *Path) Head() Wrapper { return p.head }
+
+// Op performs an operation through the path.
+func (p *Path) Op(ctx *Ctx, req Request) (Reply, error) {
+	return p.head.Op(ctx, req)
+}
+
+// base carries the name/host boilerplate shared by wrapper implementations.
+type base struct {
+	name string
+	host *vnet.Host
+}
+
+func (b base) Name() string     { return b.name }
+func (b base) Host() *vnet.Host { return b.host }
+
+// ErrNoNext is returned when a wrapper that requires a next stage has none.
+var ErrNoNext = errors.New("paths: wrapper has no next stage")
+
+// --- Storage wrappers -------------------------------------------------
+
+// ValueStore terminates a path in a PastSet element, storing written
+// values as 8-byte tuples. It echoes the written value back, which is how
+// the root of an allreduce tree returns the reduced value while storing it
+// (figure 1: the reduced value is stored in a PastSet buffer).
+type ValueStore struct {
+	base
+	elem *pastset.Element
+}
+
+// NewValueStore creates a storage wrapper over elem on host.
+func NewValueStore(name string, host *vnet.Host, elem *pastset.Element) *ValueStore {
+	return &ValueStore{base: base{name, host}, elem: elem}
+}
+
+// Element returns the underlying PastSet element.
+func (s *ValueStore) Element() *pastset.Element { return s.elem }
+
+// Op stores written values; reads return the newest stored value.
+func (s *ValueStore) Op(ctx *Ctx, req Request) (Reply, error) {
+	switch req.Kind {
+	case OpWrite:
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, uint64(req.Value))
+		if _, err := s.elem.Write(buf); err != nil {
+			return Reply{}, err
+		}
+		return Reply{Value: req.Value}, nil
+	case OpRead:
+		t, err := s.elem.Latest()
+		if err != nil {
+			return Reply{}, err
+		}
+		if len(t.Data) < 8 {
+			return Reply{}, fmt.Errorf("paths: %s: short value tuple (%d bytes)", s.name, len(t.Data))
+		}
+		return Reply{Value: int64(binary.LittleEndian.Uint64(t.Data))}, nil
+	default:
+		return Reply{}, fmt.Errorf("paths: %s: unsupported op %v", s.name, req.Kind)
+	}
+}
+
+// BatchReader terminates a read path in a PastSet element with a private
+// cursor, returning all unread retained tuples concatenated into one large
+// payload. Records must be fixed-size for downstream stages to parse; the
+// record size is carried for validation. It is the storage wrapper event
+// scopes use to drain trace buffers.
+type BatchReader struct {
+	base
+	cursor  *pastset.Cursor
+	recSize int
+	max     int // maximum records per read; 0 = unlimited
+}
+
+// NewBatchReader creates a draining reader over elem. recSize is the fixed
+// record size in bytes; maxRecords bounds one batch (0 = unlimited).
+func NewBatchReader(name string, host *vnet.Host, elem *pastset.Element, recSize, maxRecords int) *BatchReader {
+	return &BatchReader{
+		base:    base{name, host},
+		cursor:  elem.NewCursor(),
+		recSize: recSize,
+		max:     maxRecords,
+	}
+}
+
+// Cursor exposes the reader's cursor for gather-rate accounting.
+func (r *BatchReader) Cursor() *pastset.Cursor { return r.cursor }
+
+// Op drains unread tuples (up to the batch cap) and returns them
+// concatenated. Ret holds the record count. Reads never block: an empty
+// batch is a valid reply.
+func (r *BatchReader) Op(ctx *Ctx, req Request) (Reply, error) {
+	if req.Kind != OpRead {
+		return Reply{}, fmt.Errorf("paths: %s: unsupported op %v", r.name, req.Kind)
+	}
+	var out []byte
+	n := 0
+	for r.max == 0 || n < r.max {
+		t, err := r.cursor.TryNext()
+		if err != nil {
+			break // empty or closed: return what we have
+		}
+		if len(t.Data) != r.recSize {
+			return Reply{}, fmt.Errorf("paths: %s: record size %d, want %d", r.name, len(t.Data), r.recSize)
+		}
+		out = append(out, t.Data...)
+		n++
+	}
+	return Reply{Data: out, Ret: int16(min(n, 1<<15-1))}, nil
+}
+
+// Transform is a data-manipulation wrapper: it forwards the request and
+// rewrites the reply. The paper's single-scope load-balance monitor uses a
+// transform as its reduce wrapper ("find the tuple with the largest down
+// timestamp").
+type Transform struct {
+	base
+	next Wrapper
+	fn   func(Reply) (Reply, error)
+}
+
+// NewTransform wraps next with a reply-rewriting function.
+func NewTransform(name string, host *vnet.Host, next Wrapper, fn func(Reply) (Reply, error)) *Transform {
+	return &Transform{base: base{name, host}, next: next, fn: fn}
+}
+
+// Op forwards the request and applies the transform to the reply.
+func (t *Transform) Op(ctx *Ctx, req Request) (Reply, error) {
+	if t.next == nil {
+		return Reply{}, fmt.Errorf("%s: %w", t.name, ErrNoNext)
+	}
+	rep, err := t.next.Op(ctx, req)
+	if err != nil {
+		return Reply{}, err
+	}
+	return t.fn(rep)
+}
+
+// Func adapts a plain function into a terminal wrapper; useful in tests
+// and for custom monitor stages.
+type Func struct {
+	base
+	fn func(ctx *Ctx, req Request) (Reply, error)
+}
+
+// NewFunc creates a function wrapper.
+func NewFunc(name string, host *vnet.Host, fn func(ctx *Ctx, req Request) (Reply, error)) *Func {
+	return &Func{base: base{name, host}, fn: fn}
+}
+
+// Op invokes the wrapped function.
+func (f *Func) Op(ctx *Ctx, req Request) (Reply, error) { return f.fn(ctx, req) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,720 @@
+package paths
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"eventspace/internal/hrtime"
+	"eventspace/internal/pastset"
+	"eventspace/internal/vnet"
+)
+
+// testNet builds a small two-cluster network at a tiny time scale.
+func testNet(t *testing.T) (*vnet.Network, *vnet.Cluster, *vnet.Cluster) {
+	t.Helper()
+	old := hrtime.Scale()
+	hrtime.SetScale(0.01)
+	t.Cleanup(func() { hrtime.SetScale(old) })
+	n := vnet.NewNetwork(vnet.FastEthernet, vnet.DefaultCostModel())
+	c1, err := n.AddCluster("a", "s1", 3, 2, vnet.GigabitEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := n.AddCluster("b", "s1", 3, 2, vnet.GigabitEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, c1, c2
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpWrite.String() != "write" || OpRead.String() != "read" {
+		t.Fatal("bad op names")
+	}
+	if OpKind(99).String() != "op(99)" {
+		t.Fatalf("unknown kind = %q", OpKind(99).String())
+	}
+}
+
+func TestValueStoreWriteRead(t *testing.T) {
+	_, c1, _ := testNet(t)
+	h := c1.Hosts()[0]
+	elem := pastset.MustNewElement("v", 4)
+	s := NewValueStore("store", h, elem)
+	if s.Element() != elem {
+		t.Fatal("Element() mismatch")
+	}
+	ctx := &Ctx{Thread: "t0"}
+	rep, err := s.Op(ctx, Request{Kind: OpWrite, Value: -42})
+	if err != nil || rep.Value != -42 {
+		t.Fatalf("write: %+v %v", rep, err)
+	}
+	rep, err = s.Op(ctx, Request{Kind: OpRead})
+	if err != nil || rep.Value != -42 {
+		t.Fatalf("read: %+v %v", rep, err)
+	}
+	if _, err := s.Op(ctx, Request{Kind: OpKind(9)}); err == nil {
+		t.Fatal("unsupported op accepted")
+	}
+}
+
+func TestValueStoreShortTuple(t *testing.T) {
+	_, c1, _ := testNet(t)
+	elem := pastset.MustNewElement("v", 4)
+	elem.Write([]byte{1, 2})
+	s := NewValueStore("store", c1.Hosts()[0], elem)
+	if _, err := s.Op(nil, Request{Kind: OpRead}); err == nil {
+		t.Fatal("short tuple accepted")
+	}
+}
+
+func TestBatchReaderDrainsAndCaps(t *testing.T) {
+	_, c1, _ := testNet(t)
+	h := c1.Hosts()[0]
+	elem := pastset.MustNewElement("trace", 64)
+	for i := 0; i < 10; i++ {
+		elem.Write([]byte{byte(i), 0, 0, 0})
+	}
+	r := NewBatchReader("rd", h, elem, 4, 3)
+	rep, err := r.Op(nil, Request{Kind: OpRead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ret != 3 || len(rep.Data) != 12 {
+		t.Fatalf("capped read: ret=%d len=%d", rep.Ret, len(rep.Data))
+	}
+	if rep.Data[0] != 0 || rep.Data[4] != 1 || rep.Data[8] != 2 {
+		t.Fatalf("records out of order: % x", rep.Data)
+	}
+	// Uncapped reader drains the rest.
+	r2 := NewBatchReader("rd2", h, elem, 4, 0)
+	rep, err = r2.Op(nil, Request{Kind: OpRead})
+	if err != nil || rep.Ret != 10 {
+		t.Fatalf("uncapped: ret=%d err=%v", rep.Ret, err)
+	}
+	// Empty batch is fine.
+	rep, err = r2.Op(nil, Request{Kind: OpRead})
+	if err != nil || rep.Ret != 0 || len(rep.Data) != 0 {
+		t.Fatalf("empty: %+v %v", rep, err)
+	}
+	if _, err := r2.Op(nil, Request{Kind: OpWrite}); err == nil {
+		t.Fatal("write on reader accepted")
+	}
+	if r.Cursor() == nil {
+		t.Fatal("no cursor")
+	}
+}
+
+func TestBatchReaderRejectsWrongRecordSize(t *testing.T) {
+	_, c1, _ := testNet(t)
+	elem := pastset.MustNewElement("trace", 8)
+	elem.Write([]byte{1, 2, 3})
+	r := NewBatchReader("rd", c1.Hosts()[0], elem, 4, 0)
+	if _, err := r.Op(nil, Request{Kind: OpRead}); err == nil {
+		t.Fatal("wrong-size record accepted")
+	}
+}
+
+func TestTransform(t *testing.T) {
+	_, c1, _ := testNet(t)
+	h := c1.Hosts()[0]
+	inner := NewFunc("f", h, func(ctx *Ctx, req Request) (Reply, error) {
+		return Reply{Value: req.Value * 2}, nil
+	})
+	tr := NewTransform("double+1", h, inner, func(r Reply) (Reply, error) {
+		r.Value++
+		return r, nil
+	})
+	rep, err := tr.Op(nil, Request{Kind: OpWrite, Value: 10})
+	if err != nil || rep.Value != 21 {
+		t.Fatalf("transform: %+v %v", rep, err)
+	}
+	bad := NewTransform("bad", h, nil, func(r Reply) (Reply, error) { return r, nil })
+	if _, err := bad.Op(nil, Request{}); !errors.Is(err, ErrNoNext) {
+		t.Fatalf("nil next: %v", err)
+	}
+	failing := NewFunc("fail", h, func(ctx *Ctx, req Request) (Reply, error) {
+		return Reply{}, errors.New("inner boom")
+	})
+	tr2 := NewTransform("t2", h, failing, func(r Reply) (Reply, error) { return r, nil })
+	if _, err := tr2.Op(nil, Request{}); err == nil {
+		t.Fatal("inner error swallowed")
+	}
+}
+
+func TestAllreduceValidation(t *testing.T) {
+	_, c1, _ := testNet(t)
+	h := c1.Hosts()[0]
+	next := NewFunc("sink", h, func(ctx *Ctx, req Request) (Reply, error) { return Reply{Value: req.Value}, nil })
+	if _, err := NewAllreduce("ar", h, 0, Sum, next); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewAllreduce("ar", h, 2, Sum, nil); err == nil {
+		t.Fatal("nil next accepted")
+	}
+	if _, err := NewAllreduce("ar", h, 2, nil, next); err == nil {
+		t.Fatal("nil reduce accepted")
+	}
+}
+
+func TestAllreduceLocalRounds(t *testing.T) {
+	_, c1, _ := testNet(t)
+	h := c1.Hosts()[0]
+	elem := pastset.MustNewElement("root", 8)
+	store := NewValueStore("store", h, elem)
+	ar, err := NewAllreduce("ar", h, 4, Sum, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Fanin() != 4 || ar.Next() != store {
+		t.Fatal("accessors wrong")
+	}
+	const rounds = 50
+	var wg sync.WaitGroup
+	results := make([][]int64, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			port := ar.Port(i)
+			ctx := &Ctx{Thread: fmt.Sprintf("t%d", i)}
+			for r := 0; r < rounds; r++ {
+				rep, err := port.Op(ctx, Request{Kind: OpWrite, Value: int64(i + r)})
+				if err != nil {
+					t.Errorf("op: %v", err)
+					return
+				}
+				results[i] = append(results[i], rep.Value)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for r := 0; r < rounds; r++ {
+		want := int64(0+1+2+3) + int64(4*r)
+		for i := 0; i < 4; i++ {
+			if results[i][r] != want {
+				t.Fatalf("round %d thread %d: got %d, want %d", r, i, results[i][r], want)
+			}
+		}
+	}
+	if ar.Rounds() != rounds {
+		t.Fatalf("Rounds = %d, want %d", ar.Rounds(), rounds)
+	}
+	if st := elem.Stats(); st.Written != rounds {
+		t.Fatalf("root stored %d values", st.Written)
+	}
+}
+
+func TestAllreducePortNames(t *testing.T) {
+	_, c1, _ := testNet(t)
+	h := c1.Hosts()[0]
+	next := NewFunc("sink", h, func(ctx *Ctx, req Request) (Reply, error) { return Reply{Value: req.Value}, nil })
+	ar, _ := NewAllreduce("ar", h, 2, Sum, next)
+	p := ar.Port(1)
+	if p.Name() != "ar.port1" || p.Host() != h {
+		t.Fatalf("port = %q on %v", p.Name(), p.Host().Name())
+	}
+}
+
+func TestAllreduceErrorPropagatesToAllWaiters(t *testing.T) {
+	_, c1, _ := testNet(t)
+	h := c1.Hosts()[0]
+	boom := NewFunc("boom", h, func(ctx *Ctx, req Request) (Reply, error) {
+		return Reply{}, errors.New("upward failed")
+	})
+	ar, _ := NewAllreduce("ar", h, 3, Sum, boom)
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = ar.Port(i).Op(nil, Request{Kind: OpWrite, Value: 1})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("waiter %d got no error", i)
+		}
+	}
+}
+
+type recordingNotifier struct {
+	mu       sync.Mutex
+	sent     int
+	released int
+}
+
+func (r *recordingNotifier) AllSent(h *vnet.Host)     { r.mu.Lock(); r.sent++; r.mu.Unlock() }
+func (r *recordingNotifier) AllReleased(h *vnet.Host) { r.mu.Lock(); r.released++; r.mu.Unlock() }
+
+func TestAllreduceNotifier(t *testing.T) {
+	_, c1, _ := testNet(t)
+	h := c1.Hosts()[0]
+	next := NewFunc("sink", h, func(ctx *Ctx, req Request) (Reply, error) { return Reply{Value: req.Value}, nil })
+	ar, _ := NewAllreduce("ar", h, 2, Sum, next)
+	n := &recordingNotifier{}
+	ar.SetNotifier(n)
+	const rounds = 10
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if _, err := ar.Port(i).Op(nil, Request{Kind: OpWrite, Value: 1}); err != nil {
+					t.Errorf("op: %v", err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n.sent != rounds || n.released != rounds {
+		t.Fatalf("notifier: sent=%d released=%d, want %d each", n.sent, n.released, rounds)
+	}
+}
+
+func TestBarrierIgnoresValues(t *testing.T) {
+	_, c1, _ := testNet(t)
+	h := c1.Hosts()[0]
+	next := NewFunc("sink", h, func(ctx *Ctx, req Request) (Reply, error) { return Reply{Value: req.Value}, nil })
+	b, err := Barrier("bar", h, 2, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := b.Port(i).Op(nil, Request{Kind: OpWrite, Value: int64(100 + i)})
+			if err != nil || rep.Value != 0 {
+				t.Errorf("barrier: %+v %v", rep, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestRemoteThroughService(t *testing.T) {
+	n, c1, c2 := testNet(t)
+	client := c1.Hosts()[0]
+	server := c2.Hosts()[0]
+	svc := NewService()
+	target := svc.Register(NewFunc("echo", server, func(ctx *Ctx, req Request) (Reply, error) {
+		if ctx.Thread != "t7" {
+			return Reply{}, fmt.Errorf("ctx lost: %q", ctx.Thread)
+		}
+		return Reply{Value: req.Value + 1, Data: append([]byte("srv:"), req.Data...), Ret: 5}, nil
+	}))
+	conn := n.Dial(client, server, svc.Handler())
+	defer conn.Close()
+	stub := NewRemote("stub", client, conn, target)
+	rep, err := stub.Op(&Ctx{Thread: "t7"}, Request{Kind: OpWrite, Value: 41, Data: []byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Value != 42 || string(rep.Data) != "srv:hi" || rep.Ret != 5 {
+		t.Fatalf("reply = %+v", rep)
+	}
+}
+
+func TestRemoteUnknownTarget(t *testing.T) {
+	n, c1, c2 := testNet(t)
+	svc := NewService()
+	conn := n.Dial(c1.Hosts()[0], c2.Hosts()[0], svc.Handler())
+	defer conn.Close()
+	stub := NewRemote("stub", c1.Hosts()[0], conn, 999)
+	if _, err := stub.Op(nil, Request{Kind: OpWrite}); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestRemoteErrorPropagates(t *testing.T) {
+	n, c1, c2 := testNet(t)
+	svc := NewService()
+	target := svc.Register(NewFunc("fail", c2.Hosts()[0], func(ctx *Ctx, req Request) (Reply, error) {
+		return Reply{}, errors.New("remote boom")
+	}))
+	conn := n.Dial(c1.Hosts()[0], c2.Hosts()[0], svc.Handler())
+	defer conn.Close()
+	stub := NewRemote("stub", c1.Hosts()[0], conn, target)
+	if _, err := stub.Op(nil, Request{Kind: OpWrite}); err == nil {
+		t.Fatal("remote error swallowed")
+	}
+}
+
+func TestQuickRequestCodecRoundTrip(t *testing.T) {
+	f := func(target uint32, kind uint16, value int64, thread string, data []byte) bool {
+		if len(thread) > 1000 {
+			thread = thread[:1000]
+		}
+		ctx := &Ctx{Thread: thread}
+		req := Request{Kind: OpKind(kind), Value: value, Data: data}
+		gotTarget, gotCtx, gotReq, err := decodeRequest(encodeRequest(target, ctx, req))
+		if err != nil {
+			return false
+		}
+		return gotTarget == target &&
+			gotCtx.Thread == thread &&
+			gotReq.Kind == req.Kind &&
+			gotReq.Value == value &&
+			bytes.Equal(gotReq.Data, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReplyCodecRoundTrip(t *testing.T) {
+	f := func(ret int16, value int64, data []byte) bool {
+		rep := Reply{Ret: ret, Value: value, Data: data}
+		got, err := decodeReply(encodeReply(rep))
+		if err != nil {
+			return false
+		}
+		return got.Ret == ret && got.Value == value && bytes.Equal(got.Data, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsTruncatedFrames(t *testing.T) {
+	full := encodeRequest(1, &Ctx{Thread: "abc"}, Request{Kind: OpWrite, Value: 1, Data: []byte("xyz")})
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, _, err := decodeRequest(full[:cut]); err == nil {
+			t.Fatalf("truncated request at %d accepted", cut)
+		}
+	}
+	fullRep := encodeReply(Reply{Ret: 1, Value: 2, Data: []byte("abc")})
+	for cut := 0; cut < len(fullRep); cut++ {
+		if _, err := decodeReply(fullRep[:cut]); err == nil {
+			t.Fatalf("truncated reply at %d accepted", cut)
+		}
+	}
+}
+
+// TestTwoLevelTreeAcrossHosts builds the figure 1 shape: a leaf allreduce
+// per host joining local threads, the remote leaf forwarding through a
+// stub and communication thread into a port of the root allreduce.
+func TestTwoLevelTreeAcrossHosts(t *testing.T) {
+	n, c1, _ := testNet(t)
+	rootHost := c1.Hosts()[0]
+	leafHost := c1.Hosts()[1]
+
+	rootElem := pastset.MustNewElement("result", 8)
+	store := NewValueStore("store", rootHost, rootElem)
+	root, err := NewAllreduce("root", rootHost, 2, Sum, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local leaf on the root host joins threads T1,T2 then feeds port 0.
+	leafA, err := NewAllreduce("leafA", rootHost, 2, Sum, root.Port(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remote leaf joins T3,T4, then its combined value crosses the
+	// network into port 1.
+	svc := NewService()
+	target := svc.Register(root.Port(1))
+	conn := n.Dial(leafHost, rootHost, svc.Handler())
+	defer conn.Close()
+	stub := NewRemote("stub", leafHost, conn, target)
+	leafB, err := NewAllreduce("leafB", leafHost, 2, Sum, stub)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 20
+	ports := []Wrapper{leafA.Port(0), leafA.Port(1), leafB.Port(0), leafB.Port(1)}
+	var wg sync.WaitGroup
+	for i, p := range ports {
+		wg.Add(1)
+		go func(i int, p Wrapper) {
+			defer wg.Done()
+			ctx := &Ctx{Thread: fmt.Sprintf("t%d", i)}
+			for r := 0; r < rounds; r++ {
+				rep, err := p.Op(ctx, Request{Kind: OpWrite, Value: int64(i)})
+				if err != nil {
+					t.Errorf("thread %d round %d: %v", i, r, err)
+					return
+				}
+				if rep.Value != 0+1+2+3 {
+					t.Errorf("thread %d round %d: sum = %d", i, r, rep.Value)
+					return
+				}
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	if st := rootElem.Stats(); st.Written != rounds {
+		t.Fatalf("root element has %d writes, want %d", st.Written, rounds)
+	}
+}
+
+func TestGatherValidation(t *testing.T) {
+	_, c1, _ := testNet(t)
+	h := c1.Hosts()[0]
+	if _, err := NewGather("g", h, nil, 0); err == nil {
+		t.Fatal("no children accepted")
+	}
+	child := NewFunc("c", h, func(ctx *Ctx, req Request) (Reply, error) { return Reply{}, nil })
+	if _, err := NewGather("g", h, []Wrapper{child}, -1); err == nil {
+		t.Fatal("negative helpers accepted")
+	}
+}
+
+func TestGatherSequentialAndParallel(t *testing.T) {
+	_, c1, _ := testNet(t)
+	h := c1.Hosts()[0]
+	mk := func(tag byte, n int) Wrapper {
+		elem := pastset.MustNewElement(fmt.Sprintf("e%d", tag), 16)
+		for i := 0; i < n; i++ {
+			elem.Write([]byte{tag, byte(i)})
+		}
+		return NewBatchReader(fmt.Sprintf("rd%d", tag), h, elem, 2, 0)
+	}
+	for _, helpers := range []int{0, 3} {
+		g, err := NewGather("g", h, []Wrapper{mk(1, 2), mk(2, 1), mk(3, 3)}, helpers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Helpers() != helpers || len(g.Children()) != 3 {
+			t.Fatal("accessors wrong")
+		}
+		rep, err := g.Op(nil, Request{Kind: OpRead})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []byte{1, 0, 1, 1, 2, 0, 3, 0, 3, 1, 3, 2}
+		if !bytes.Equal(rep.Data, want) || rep.Ret != 6 {
+			t.Fatalf("helpers=%d: data=% x ret=%d", helpers, rep.Data, rep.Ret)
+		}
+		if _, err := g.Op(nil, Request{Kind: OpWrite}); err == nil {
+			t.Fatal("write on gather accepted")
+		}
+	}
+}
+
+func TestGatherChildErrorWins(t *testing.T) {
+	_, c1, _ := testNet(t)
+	h := c1.Hosts()[0]
+	ok := NewFunc("ok", h, func(ctx *Ctx, req Request) (Reply, error) { return Reply{Data: []byte{1}}, nil })
+	bad := NewFunc("bad", h, func(ctx *Ctx, req Request) (Reply, error) { return Reply{}, errors.New("child boom") })
+	g, _ := NewGather("g", h, []Wrapper{ok, bad}, 0)
+	if _, err := g.Op(nil, Request{Kind: OpRead}); err == nil {
+		t.Fatal("child error swallowed")
+	}
+}
+
+func TestScatterRoutesRecords(t *testing.T) {
+	_, c1, _ := testNet(t)
+	h := c1.Hosts()[0]
+	e1 := pastset.MustNewElement("a", 8)
+	e2 := pastset.MustNewElement("b", 8)
+	sc, err := NewScatter("sc", h, 2, func(rec []byte) (*pastset.Element, error) {
+		switch rec[0] {
+		case 1:
+			return e1, nil
+		case 2:
+			return e2, nil
+		case 3:
+			return nil, nil // filtered
+		default:
+			return nil, fmt.Errorf("bad tag %d", rec[0])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.Op(nil, Request{Kind: OpWrite, Data: []byte{1, 10, 2, 20, 3, 30, 1, 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ret != 3 {
+		t.Fatalf("scattered %d records, want 3", rep.Ret)
+	}
+	if e1.Stats().Written != 2 || e2.Stats().Written != 1 {
+		t.Fatalf("routing wrong: e1=%d e2=%d", e1.Stats().Written, e2.Stats().Written)
+	}
+	if _, err := sc.Op(nil, Request{Kind: OpWrite, Data: []byte{9, 9}}); err == nil {
+		t.Fatal("route error swallowed")
+	}
+	if _, err := sc.Op(nil, Request{Kind: OpWrite, Data: []byte{1}}); err == nil {
+		t.Fatal("ragged payload accepted")
+	}
+	if _, err := sc.Op(nil, Request{Kind: OpRead}); err == nil {
+		t.Fatal("read on scatter accepted")
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	_, c1, _ := testNet(t)
+	h := c1.Hosts()[0]
+	if _, err := NewScatter("s", h, 0, func([]byte) (*pastset.Element, error) { return nil, nil }); err == nil {
+		t.Fatal("record size 0 accepted")
+	}
+	if _, err := NewScatter("s", h, 4, nil); err == nil {
+		t.Fatal("nil route accepted")
+	}
+}
+
+func TestExchangeAllToAll(t *testing.T) {
+	n, c1, c2 := testNet(t)
+	hosts := []*vnet.Host{c1.Hosts()[0], c1.Hosts()[1], c2.Hosts()[0]}
+	const k = 3
+	exs := make([]*Exchange, k)
+	svcs := make([]*Service, k)
+	for i := 0; i < k; i++ {
+		var err error
+		exs[i], err = NewExchange(fmt.Sprintf("ex%d", i), hosts[i], i, k, Sum, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svcs[i] = NewService()
+	}
+	targets := make([]uint32, k)
+	for i := 0; i < k; i++ {
+		targets[i] = RegisterExchangeTarget(svcs[i], exs[i])
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i == j {
+				continue
+			}
+			conn := n.Dial(hosts[i], hosts[j], svcs[j].Handler())
+			defer conn.Close()
+			stub := NewRemote(fmt.Sprintf("stub%d-%d", i, j), hosts[i], conn, targets[j])
+			if err := exs[i].ConnectPeer(j, stub); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	const rounds = 10
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				rep, err := exs[i].Op(nil, Request{Kind: OpWrite, Value: int64((i + 1) * (r + 1))})
+				if err != nil {
+					t.Errorf("ex%d round %d: %v", i, r, err)
+					return
+				}
+				want := int64((1 + 2 + 3) * (r + 1))
+				if rep.Value != want {
+					t.Errorf("ex%d round %d: got %d, want %d", i, r, rep.Value, want)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestExchangeValidation(t *testing.T) {
+	_, c1, _ := testNet(t)
+	h := c1.Hosts()[0]
+	if _, err := NewExchange("e", h, 2, 2, Sum, nil); err == nil {
+		t.Fatal("id out of range accepted")
+	}
+	if _, err := NewExchange("e", h, 0, 2, nil, nil); err == nil {
+		t.Fatal("nil reduce accepted")
+	}
+	e, _ := NewExchange("e", h, 0, 3, Sum, nil)
+	if err := e.ConnectPeer(0, nil); err == nil {
+		t.Fatal("self peer accepted")
+	}
+	if err := e.ConnectPeer(5, nil); err == nil {
+		t.Fatal("out-of-range peer accepted")
+	}
+	if _, err := e.Op(nil, Request{Kind: OpWrite, Value: 1}); err == nil {
+		t.Fatal("op with missing peers accepted")
+	}
+	if e.ID() != 0 || e.Participants() != 3 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestExchangeStoresViaNext(t *testing.T) {
+	n, c1, _ := testNet(t)
+	hosts := []*vnet.Host{c1.Hosts()[0], c1.Hosts()[1]}
+	elems := []*pastset.Element{pastset.MustNewElement("r0", 8), pastset.MustNewElement("r1", 8)}
+	exs := make([]*Exchange, 2)
+	svcs := []*Service{NewService(), NewService()}
+	for i := 0; i < 2; i++ {
+		store := NewValueStore("st", hosts[i], elems[i])
+		var err error
+		exs[i], err = NewExchange(fmt.Sprintf("ex%d", i), hosts[i], i, 2, Max, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	t0 := RegisterExchangeTarget(svcs[0], exs[0])
+	t1 := RegisterExchangeTarget(svcs[1], exs[1])
+	c01 := n.Dial(hosts[0], hosts[1], svcs[1].Handler())
+	c10 := n.Dial(hosts[1], hosts[0], svcs[0].Handler())
+	defer c01.Close()
+	defer c10.Close()
+	exs[0].ConnectPeer(1, NewRemote("s01", hosts[0], c01, t1))
+	exs[1].ConnectPeer(0, NewRemote("s10", hosts[1], c10, t0))
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := exs[i].Op(nil, Request{Kind: OpWrite, Value: int64(10 * (i + 1))})
+			if err != nil || rep.Value != 20 {
+				t.Errorf("ex%d: %+v %v", i, rep, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range elems {
+		tu, err := e.Latest()
+		if err != nil {
+			t.Fatalf("elem %d: %v", i, err)
+		}
+		if len(tu.Data) != 8 {
+			t.Fatalf("elem %d tuple size %d", i, len(tu.Data))
+		}
+	}
+}
+
+func TestReduceFuncs(t *testing.T) {
+	if Sum(2, 3) != 5 || Max(2, 3) != 3 || Max(4, 1) != 4 || Min(2, 3) != 2 || Min(4, 1) != 1 {
+		t.Fatal("reduce funcs broken")
+	}
+}
+
+func TestPathWrapsHead(t *testing.T) {
+	_, c1, _ := testNet(t)
+	h := c1.Hosts()[0]
+	f := NewFunc("f", h, func(ctx *Ctx, req Request) (Reply, error) { return Reply{Value: 7}, nil })
+	p := NewPath("p", f)
+	if p.Name() != "p" || p.Head() != f {
+		t.Fatal("accessors wrong")
+	}
+	rep, err := p.Op(nil, Request{Kind: OpWrite})
+	if err != nil || rep.Value != 7 {
+		t.Fatalf("path op: %+v %v", rep, err)
+	}
+}
+
+func TestWireSizes(t *testing.T) {
+	r := Request{Data: make([]byte, 10)}
+	if r.WireSize() != 26 {
+		t.Fatalf("request wire size = %d", r.WireSize())
+	}
+	rep := Reply{Data: make([]byte, 5)}
+	if rep.WireSize() != 21 {
+		t.Fatalf("reply wire size = %d", rep.WireSize())
+	}
+}

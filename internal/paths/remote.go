@@ -1,0 +1,173 @@
+package paths
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"eventspace/internal/vnet"
+)
+
+// Inter-host communication: a Remote wrapper (the paper's "stub") encodes
+// the operation and sends it over a connection; a Service on the far host
+// is invoked by the connection's communication thread and continues the
+// operation down a registered wrapper chain.
+
+// Service dispatches incoming operations to registered target wrappers.
+// One service per host is typical; its Handler is installed on every
+// connection whose communication thread should continue paths on that
+// host.
+type Service struct {
+	mu      sync.RWMutex
+	nextID  uint32
+	targets map[uint32]Wrapper
+}
+
+// NewService returns an empty dispatch table.
+func NewService() *Service {
+	return &Service{targets: make(map[uint32]Wrapper)}
+}
+
+// Register adds a continuation wrapper and returns its target id for use
+// by remote stubs.
+func (s *Service) Register(w Wrapper) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	s.targets[s.nextID] = w
+	return s.nextID
+}
+
+// Handler returns the vnet.Handler that decodes operations and invokes
+// the target wrapper in the communication thread's context.
+func (s *Service) Handler() vnet.Handler {
+	return func(payload []byte) ([]byte, error) {
+		target, ctx, req, err := decodeRequest(payload)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.RLock()
+		w, ok := s.targets[target]
+		s.mu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("paths: unknown remote target %d", target)
+		}
+		rep, err := w.Op(&ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return encodeReply(rep), nil
+	}
+}
+
+// Remote is the stub wrapper: it forwards operations over a Caller to a
+// target registered with the far host's Service. The calling thread blocks
+// for the full modelled round trip, exactly as a thread blocks in the
+// paper's stub while the communication thread works.
+type Remote struct {
+	base
+	caller vnet.Caller
+	target uint32
+}
+
+// NewRemote creates a stub on host that invokes target over caller.
+func NewRemote(name string, host *vnet.Host, caller vnet.Caller, target uint32) *Remote {
+	return &Remote{base: base{name, host}, caller: caller, target: target}
+}
+
+// Op encodes the request, performs the remote call, and decodes the reply.
+func (r *Remote) Op(ctx *Ctx, req Request) (Reply, error) {
+	resp, err := r.caller.Call(encodeRequest(r.target, ctx, req))
+	if err != nil {
+		return Reply{}, fmt.Errorf("paths: %s: %w", r.name, err)
+	}
+	return decodeReply(resp)
+}
+
+// Close releases the stub's connection.
+func (r *Remote) Close() error { return r.caller.Close() }
+
+// Wire format. Native little-endian, mirroring the paper's "binary format
+// in memory using native byte ordering".
+//
+// request: target u32 | kind u16 | value i64 | threadLen u16 | thread |
+//          dataLen u32 | data
+// reply:   ret i16 | value i64 | dataLen u32 | data
+
+func encodeRequest(target uint32, ctx *Ctx, req Request) []byte {
+	thread := ""
+	if ctx != nil {
+		thread = ctx.Thread
+	}
+	buf := make([]byte, 0, 20+len(thread)+len(req.Data))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], target)
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(req.Kind))
+	buf = append(buf, tmp[:2]...)
+	binary.LittleEndian.PutUint64(tmp[:8], uint64(req.Value))
+	buf = append(buf, tmp[:8]...)
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(thread)))
+	buf = append(buf, tmp[:2]...)
+	buf = append(buf, thread...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(req.Data)))
+	buf = append(buf, tmp[:4]...)
+	buf = append(buf, req.Data...)
+	return buf
+}
+
+func decodeRequest(buf []byte) (target uint32, ctx Ctx, req Request, err error) {
+	if len(buf) < 16 {
+		return 0, Ctx{}, Request{}, fmt.Errorf("paths: short request frame (%d bytes)", len(buf))
+	}
+	target = binary.LittleEndian.Uint32(buf[0:4])
+	req.Kind = OpKind(binary.LittleEndian.Uint16(buf[4:6]))
+	req.Value = int64(binary.LittleEndian.Uint64(buf[6:14]))
+	tlen := int(binary.LittleEndian.Uint16(buf[14:16]))
+	rest := buf[16:]
+	if len(rest) < tlen+4 {
+		return 0, Ctx{}, Request{}, fmt.Errorf("paths: truncated request frame")
+	}
+	ctx.Thread = string(rest[:tlen])
+	rest = rest[tlen:]
+	dlen := int(binary.LittleEndian.Uint32(rest[:4]))
+	rest = rest[4:]
+	if len(rest) != dlen {
+		return 0, Ctx{}, Request{}, fmt.Errorf("paths: request data length %d, frame has %d", dlen, len(rest))
+	}
+	if dlen > 0 {
+		req.Data = rest
+	}
+	return target, ctx, req, nil
+}
+
+func encodeReply(rep Reply) []byte {
+	buf := make([]byte, 0, 14+len(rep.Data))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(rep.Ret))
+	buf = append(buf, tmp[:2]...)
+	binary.LittleEndian.PutUint64(tmp[:8], uint64(rep.Value))
+	buf = append(buf, tmp[:8]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(rep.Data)))
+	buf = append(buf, tmp[:4]...)
+	buf = append(buf, rep.Data...)
+	return buf
+}
+
+func decodeReply(buf []byte) (Reply, error) {
+	if len(buf) < 14 {
+		return Reply{}, fmt.Errorf("paths: short reply frame (%d bytes)", len(buf))
+	}
+	var rep Reply
+	rep.Ret = int16(binary.LittleEndian.Uint16(buf[0:2]))
+	rep.Value = int64(binary.LittleEndian.Uint64(buf[2:10]))
+	dlen := int(binary.LittleEndian.Uint32(buf[10:14]))
+	rest := buf[14:]
+	if len(rest) != dlen {
+		return Reply{}, fmt.Errorf("paths: reply data length %d, frame has %d", dlen, len(rest))
+	}
+	if dlen > 0 {
+		rep.Data = rest
+	}
+	return rep, nil
+}

@@ -1,0 +1,232 @@
+package vclock
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned when pushing to a closed Queue.
+var ErrClosed = errors.New("vclock: queue closed")
+
+// Cond is a clock-aware condition variable. Wait, Signal and Broadcast
+// must be called with L held; the waker transfers runnability to the
+// goroutines it wakes, so the clock never advances past a pending wakeup.
+// With the clock disabled it behaves exactly like sync.Cond.
+type Cond struct {
+	L       sync.Locker
+	c       *sync.Cond
+	waiters int
+}
+
+// NewCond returns a condition variable bound to l.
+func NewCond(l sync.Locker) *Cond {
+	return &Cond{L: l, c: sync.NewCond(l)}
+}
+
+// Wait atomically releases L and suspends the caller until woken.
+func (cv *Cond) Wait() {
+	cv.waiters++
+	block()
+	cv.c.Wait()
+}
+
+// Signal wakes one waiter.
+func (cv *Cond) Signal() {
+	if cv.waiters > 0 {
+		cv.waiters--
+		addRunning(1)
+	}
+	cv.c.Signal()
+}
+
+// Broadcast wakes all waiters.
+func (cv *Cond) Broadcast() {
+	addRunning(cv.waiters)
+	cv.waiters = 0
+	cv.c.Broadcast()
+}
+
+// Sem is a clock-aware counting semaphore; it replaces the buffered
+// channel commonly used for CPU slots.
+type Sem struct {
+	mu   sync.Mutex
+	cond *Cond
+	free int
+}
+
+// NewSem creates a semaphore with n slots.
+func NewSem(n int) *Sem {
+	s := &Sem{free: n}
+	s.cond = NewCond(&s.mu)
+	return s
+}
+
+// Acquire claims a slot, blocking until one is free.
+func (s *Sem) Acquire() {
+	s.mu.Lock()
+	for s.free == 0 {
+		s.cond.Wait()
+	}
+	s.free--
+	s.mu.Unlock()
+}
+
+// Release returns a slot.
+func (s *Sem) Release() {
+	s.mu.Lock()
+	s.free++
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// WaitGroup is a clock-aware sync.WaitGroup replacement for joins inside
+// the model (e.g. parallel gather helpers).
+type WaitGroup struct {
+	mu   sync.Mutex
+	cond *Cond
+	n    int
+}
+
+// NewWaitGroup returns an empty wait group.
+func NewWaitGroup() *WaitGroup {
+	wg := &WaitGroup{}
+	wg.cond = NewCond(&wg.mu)
+	return wg
+}
+
+// Add adds delta to the counter.
+func (wg *WaitGroup) Add(delta int) {
+	wg.mu.Lock()
+	wg.n += delta
+	if wg.n < 0 {
+		wg.mu.Unlock()
+		panic("vclock: negative WaitGroup counter")
+	}
+	if wg.n == 0 {
+		wg.cond.Broadcast()
+	}
+	wg.mu.Unlock()
+}
+
+// Done decrements the counter.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks until the counter reaches zero.
+func (wg *WaitGroup) Wait() {
+	wg.mu.Lock()
+	for wg.n > 0 {
+		wg.cond.Wait()
+	}
+	wg.mu.Unlock()
+}
+
+// Event is a clock-aware one-shot: one goroutine waits for a value
+// another delivers (a request's reply slot).
+type Event struct {
+	mu   sync.Mutex
+	cond *Cond
+	done bool
+	val  []byte
+	err  error
+}
+
+// NewEvent returns an unfired event.
+func NewEvent() *Event {
+	e := &Event{}
+	e.cond = NewCond(&e.mu)
+	return e
+}
+
+// Fire delivers the value; only the first call wins.
+func (e *Event) Fire(val []byte, err error) {
+	e.mu.Lock()
+	if !e.done {
+		e.done = true
+		e.val, e.err = val, err
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+}
+
+// Wait blocks until the event fires.
+func (e *Event) Wait() ([]byte, error) {
+	e.mu.Lock()
+	for !e.done {
+		e.cond.Wait()
+	}
+	val, err := e.val, e.err
+	e.mu.Unlock()
+	return val, err
+}
+
+// Queue is a clock-aware FIFO with close semantics, used as a
+// connection's request queue towards its communication thread.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	cond   *Cond
+	items  []T
+	closed bool
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	q.cond = NewCond(&q.mu)
+	return q
+}
+
+// Push appends an item; it fails once the queue is closed.
+func (q *Queue[T]) Push(v T) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return ErrClosed
+	}
+	q.items = append(q.items, v)
+	q.cond.Signal()
+	q.mu.Unlock()
+	return nil
+}
+
+// Pop removes the oldest item, blocking until one is available. It
+// returns ok == false as soon as the queue is closed, without draining
+// what remains (matching a select on a done channel).
+func (q *Queue[T]) Pop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			var zero T
+			return zero, false
+		}
+		if len(q.items) > 0 {
+			v := q.items[0]
+			q.items = q.items[1:]
+			return v, true
+		}
+		q.cond.Wait()
+	}
+}
+
+// Close marks the queue closed, wakes all poppers, and returns the
+// undelivered items so the caller can fail them.
+func (q *Queue[T]) Close() []T {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	rest := q.items
+	q.items = nil
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	return rest
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}

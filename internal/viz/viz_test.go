@@ -1,0 +1,178 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"eventspace/internal/analysis"
+	"eventspace/internal/cluster"
+	"eventspace/internal/hrtime"
+	"eventspace/internal/monitor"
+)
+
+func testTree(t *testing.T) (*cluster.Testbed, *cluster.Tree) {
+	t.Helper()
+	old := hrtime.Scale()
+	hrtime.SetScale(0.002)
+	t.Cleanup(func() { hrtime.SetScale(old) })
+	tb, err := cluster.NewTestbed(cluster.SingleTin(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := cluster.BuildTree(tb, cluster.TreeSpec{
+		Name: "T", Fanout: 8, ThreadsPerHost: 1, Instrument: true, TraceBufCap: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tree.Close)
+	return tb, tree
+}
+
+func TestTreeRendering(t *testing.T) {
+	_, tree := testTree(t)
+	var buf bytes.Buffer
+	if err := Tree(&buf, tree); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"spanning tree T", "T/tin-0", "fan-in 4", "EC"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTreeRenderingWAN(t *testing.T) {
+	old := hrtime.Scale()
+	hrtime.SetScale(0.002)
+	t.Cleanup(func() { hrtime.SetScale(old) })
+	tb, err := cluster.NewTestbed(cluster.WANMulti(2, 2, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := cluster.BuildTree(tb, cluster.TreeSpec{Name: "W", ThreadsPerHost: 1, WANAllToAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+	var buf bytes.Buffer
+	if err := Tree(&buf, tree); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "all-to-all exchange: 6 participants") {
+		t.Fatalf("WAN rendering missing exchange line:\n%s", buf.String())
+	}
+}
+
+func TestWeightedTreeRendering(t *testing.T) {
+	wt := monitor.NewWeightedTree()
+	wt.Add("T/tin-0", 0, 90)
+	wt.Add("T/tin-0", 1, 10)
+	var buf bytes.Buffer
+	if err := WeightedTree(&buf, wt); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "T/tin-0 (100 rounds observed)") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "90.0%") || !strings.Contains(out, "10.0%") {
+		t.Fatalf("missing percentages:\n%s", out)
+	}
+	// The straggler bar must be longer than the other.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "#") <= strings.Count(lines[2], "#") {
+		t.Fatalf("bars not proportional:\n%s", out)
+	}
+}
+
+func TestWeightedTreeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WeightedTree(&buf, monitor.NewWeightedTree()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no observations") {
+		t.Fatal("missing empty message")
+	}
+}
+
+func TestAnalysisTreeRendering(t *testing.T) {
+	_, tree := testTree(t)
+	at := monitor.NewAnalysisTree()
+	id := tree.Nodes[0].CollectiveEC.ID()
+	at.Update(analysis.StatsRecord{ID: id, Kind: analysis.KindDown, Count: 5, Mean: 100, Min: 90, Max: 110, Std: 5, Median: 99})
+	at.Update(analysis.StatsRecord{ID: id, Kind: analysis.KindTotal, Count: 5, Mean: 300})
+	var buf bytes.Buffer
+	if err := AnalysisTree(&buf, at, tree); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "down") || !strings.Contains(out, "total") {
+		t.Fatalf("missing metrics:\n%s", out)
+	}
+	if !strings.Contains(out, tree.Nodes[0].CollectiveEC.Name()) {
+		t.Fatalf("missing wrapper name:\n%s", out)
+	}
+	// Unknown tree: falls back to numeric ids.
+	buf.Reset()
+	if err := AnalysisTree(&buf, at, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrapper#") {
+		t.Fatal("missing numeric fallback")
+	}
+}
+
+func TestAnalysisTreeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AnalysisTree(&buf, monitor.NewAnalysisTree(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no statistics") {
+		t.Fatal("missing empty message")
+	}
+}
+
+func TestGatherReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := GatherReport(&buf, "lb", 0.55, 123); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tuples discarded") {
+		t.Fatal("low rate not flagged")
+	}
+	buf.Reset()
+	GatherReport(&buf, "lb", 1.0, 10)
+	if !strings.Contains(buf.String(), "all tuples gathered") {
+		t.Fatal("full rate not reported")
+	}
+}
+
+func TestTopologyRendering(t *testing.T) {
+	tb, _ := testTree(t)
+	var buf bytes.Buffer
+	if err := Topology(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "cluster tin") || !strings.Contains(out, "gateway=tin-gw") || !strings.Contains(out, "front-end") {
+		t.Fatalf("topology rendering:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if bar(0, 10) != ".........."[:10] {
+		t.Fatal("empty bar")
+	}
+	if bar(1, 10) != "##########" {
+		t.Fatal("full bar")
+	}
+	if bar(-1, 4) != "...." || bar(2, 4) != "####" {
+		t.Fatal("clamping")
+	}
+	if got := bar(0.5, 10); strings.Count(got, "#") != 5 {
+		t.Fatalf("half bar = %q", got)
+	}
+}

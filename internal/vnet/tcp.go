@@ -1,0 +1,201 @@
+// Real TCP transport. The modelled Conn is what the experiments use; this
+// transport proves the same request/response protocol and payload formats
+// work over an actual network stack (the paper runs PATHS over TCP/IP with
+// the Nagle algorithm disabled).
+package vnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxFrame bounds a frame payload to keep a corrupted length prefix from
+// forcing a huge allocation.
+const maxFrame = 16 << 20
+
+// writeFrame writes a length-prefixed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	if len(payload) > maxFrame {
+		return fmt.Errorf("vnet: frame too large: %d bytes", len(payload))
+	}
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads a length-prefixed payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("vnet: frame too large: %d bytes", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// TCPServer serves the request/response protocol over real TCP. Each
+// accepted connection gets its own goroutine — the communication thread.
+type TCPServer struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenTCP starts a server on addr (e.g. "127.0.0.1:0") whose
+// communication threads invoke handler per request.
+func ListenTCP(addr string, handler Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &TCPServer{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true) // the paper disables Nagle
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		payload, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		resp, err := s.handler(payload)
+		status := byte(0)
+		if err != nil {
+			status = 1
+			resp = []byte(err.Error())
+		}
+		if err := writeFrame(w, append([]byte{status}, resp...)); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting and closes all connections.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// TCPCaller is the client side of the TCP transport. Calls are serialized
+// on the single underlying connection, matching the one-CT-per-connection
+// model.
+type TCPCaller struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// DialTCP connects to a TCPServer.
+func DialTCP(addr string) (*TCPCaller, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &TCPCaller{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Call sends a request and waits for the response.
+func (c *TCPCaller) Call(payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.w, payload); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 1 {
+		return nil, fmt.Errorf("vnet: short response frame")
+	}
+	if resp[0] != 0 {
+		return nil, fmt.Errorf("vnet: remote error: %s", resp[1:])
+	}
+	return resp[1:], nil
+}
+
+// Close closes the underlying connection.
+func (c *TCPCaller) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+var _ Caller = (*TCPCaller)(nil)
