@@ -45,10 +45,16 @@
 package eventspace
 
 import (
+	"time"
+
 	"eventspace/internal/cluster"
 	"eventspace/internal/core"
 	"eventspace/internal/cosched"
+	"eventspace/internal/escope"
+	"eventspace/internal/hrtime"
 	"eventspace/internal/monitor"
+	"eventspace/internal/paths"
+	"eventspace/internal/vnet"
 )
 
 // Core façade types.
@@ -99,6 +105,38 @@ const (
 	CoschedAfterUnblock = cosched.AfterUnblock // strategy 2
 )
 
+// Fault injection and robustness (see DESIGN.md "Fault model").
+type (
+	// FaultPlan is a deterministic, seeded schedule of failures to
+	// inject into the virtual network (Testbed.Net.InjectFaults).
+	FaultPlan = vnet.FaultPlan
+	// FaultEvent is one scheduled failure (crash, restart, partition,
+	// heal, reset) applied at a virtual-time offset.
+	FaultEvent = vnet.FaultEvent
+	// FaultRule injects per-call drops and latency spikes, scoped by
+	// host or cluster name.
+	FaultRule = vnet.FaultRule
+	// HealthPolicy enables per-child health tracking in monitor event
+	// scopes (MonitorConfig.Health).
+	HealthPolicy = escope.HealthPolicy
+	// RetryPolicy makes remote stubs retry transport faults with capped
+	// exponential backoff (MonitorConfig.Retry).
+	RetryPolicy = paths.RetryPolicy
+	// Coverage reports which source hosts a monitor currently hears from.
+	Coverage = escope.Coverage
+	// ChildHealth is a snapshot of one guarded gather child.
+	ChildHealth = escope.ChildHealth
+)
+
+// Fault event kinds.
+const (
+	FaultCrash     = vnet.FaultCrash
+	FaultRestart   = vnet.FaultRestart
+	FaultPartition = vnet.FaultPartition
+	FaultHeal      = vnet.FaultHeal
+	FaultReset     = vnet.FaultReset
+)
+
 // New builds a System over the given testbed specification.
 func New(spec TestbedSpec, strategy Strategy) (*System, error) {
 	return core.New(spec, strategy)
@@ -107,6 +145,13 @@ func New(spec TestbedSpec, strategy Strategy) (*System, error) {
 // RunVirtual executes fn under the discrete-event virtual clock: modelled
 // delays cost no real time and results are exact and deterministic.
 func RunVirtual(fn func() error) error { return core.RunVirtual(fn) }
+
+// SleepOutside waits d of model time from the driver goroutine (the
+// function passed to RunVirtual), e.g. between polls of monitor state.
+// The driver is not a model participant, so it must not use a model
+// sleep; this parks it on an outside timer that the clock honours
+// without counting the driver as a runnable model goroutine.
+func SleepOutside(d time.Duration) { hrtime.SleepOutside(d) }
 
 // DefaultMonitorConfig returns the configuration the paper converged on:
 // parallel gathering, coscheduling strategy 2, TCP statistics computed at

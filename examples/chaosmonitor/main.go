@@ -1,0 +1,113 @@
+// Chaos monitoring: a compute-gsum application on a LAN multi-cluster is
+// observed by a load-balance monitor hardened with retrying stubs and
+// per-child health guards. A deterministic fault plan then crashes one
+// compute host: the monitor degrades to partial coverage (reporting who
+// is missing) instead of failing, and recovers on its own once the host
+// restarts — the robustness layers of DESIGN.md's "Fault model".
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"eventspace"
+)
+
+func main() {
+	err := eventspace.RunVirtual(func() error {
+		sys, err := eventspace.New(eventspace.LANMulti(4, 3), eventspace.CoschedAfterUnblock)
+		if err != nil {
+			return err
+		}
+		defer sys.Close()
+
+		tree, err := sys.BuildTree(eventspace.TreeSpec{
+			Name: "cg", Fanout: 8, ThreadsPerHost: 1, Instrument: true, TraceBufCap: 400,
+		})
+		if err != nil {
+			return err
+		}
+
+		cfg := eventspace.DefaultMonitorConfig()
+		cfg.PullInterval = 400 * time.Microsecond
+		cfg.Health = &eventspace.HealthPolicy{DeadAfter: 2, ProbeBase: 2 * time.Millisecond, ProbeMax: 20 * time.Millisecond}
+		cfg.Retry = &eventspace.RetryPolicy{MaxAttempts: 2, BaseBackoff: 200 * time.Microsecond}
+		lb, err := sys.AttachLoadBalance(tree, eventspace.SingleScope, cfg)
+		if err != nil {
+			return err
+		}
+
+		report := func(phase string) {
+			cov := lb.Coverage()
+			fmt.Printf("%-22s coverage %d/%d", phase, cov.Reporting, cov.Expected)
+			if len(cov.Missing) > 0 {
+				fmt.Printf("  missing %v", cov.Missing)
+			}
+			fmt.Println()
+		}
+
+		// Phase 1: a healthy run. The monitor observes every host.
+		if _, err := sys.RunWorkload(eventspace.Workload{
+			Trees: []*eventspace.Tree{tree}, Iterations: 600, Compute: 200 * time.Microsecond,
+		}); err != nil {
+			return err
+		}
+		waitCoverage := func(want func(eventspace.Coverage) bool) bool {
+			for i := 0; i < 4000; i++ {
+				if want(lb.Coverage()) {
+					return true
+				}
+				eventspace.SleepOutside(time.Millisecond)
+			}
+			return false
+		}
+		if !waitCoverage(func(c eventspace.Coverage) bool { return c.Complete() }) {
+			return fmt.Errorf("monitor never reached full coverage")
+		}
+		report("healthy:")
+		fmt.Printf("rounds observed: %d, gather rate %.2f\n", lb.RoundsObserved(), lb.GatherRate())
+
+		// Phase 2: a deterministic fault plan crashes one iron host. The
+		// monitor's pulls keep succeeding on partial data; the health
+		// guards declare the host dead and coverage reports the gap.
+		victim := sys.Testbed().Clusters[1].Hosts()[0]
+		net := sys.Testbed().Net
+		inj := net.InjectFaults(eventspace.FaultPlan{
+			Seed:   42,
+			Events: []eventspace.FaultEvent{{Kind: eventspace.FaultCrash, Host: victim.Name()}},
+		})
+		if !waitCoverage(func(c eventspace.Coverage) bool { return !c.Complete() }) {
+			return fmt.Errorf("coverage never dipped after crashing %s", victim.Name())
+		}
+		report("after crash:")
+		fmt.Printf("monitor still answering: rounds observed %d\n", lb.RoundsObserved())
+
+		// Phase 3: restart the host. Backed-off probes redial, the guard
+		// recovers, and coverage closes without operator action.
+		net.ClearFaults()
+		net.InjectFaults(eventspace.FaultPlan{
+			Events: []eventspace.FaultEvent{{Kind: eventspace.FaultRestart, Host: victim.Name()}},
+		})
+		if !waitCoverage(func(c eventspace.Coverage) bool { return c.Complete() }) {
+			return fmt.Errorf("coverage never recovered after restarting %s: %+v", victim.Name(), lb.ChildHealth())
+		}
+		report("after restart:")
+		var recoveries, faults uint64
+		for _, h := range lb.ChildHealth() {
+			recoveries += h.Recoveries
+			faults += h.Faults
+		}
+		fmt.Printf("guards absorbed %d transport faults, %d recoveries\n", faults, recoveries)
+		for _, rec := range inj.Log() {
+			fmt.Printf("fault log: t=%-8v %s %s\n", rec.At, rec.Kind, rec.Target)
+		}
+		net.ClearFaults()
+		return nil
+	})
+	if err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+}

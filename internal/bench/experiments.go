@@ -92,8 +92,12 @@ func (o Options) lanIterations() int {
 }
 
 func (o Options) wanIterations() int {
+	// Quick runs need enough iterations that sequential gathering falls
+	// measurably behind the bounded trace buffers (traceCap clamps to 32
+	// here): at 40 the cursor lag peaks just under the cap and the
+	// sequential-vs-parallel rate crossover becomes a scheduling race.
 	if o.Quick {
-		return 40
+		return 100
 	}
 	return 120
 }

@@ -282,15 +282,10 @@ func Run(spec RunSpec) (RunResult, error) {
 	return res, nil
 }
 
-// modelSleep waits d of model time from an unregistered goroutine by
-// parking a registered sleeper.
+// modelSleep waits d of model time from the unregistered driver
+// goroutine without perturbing the clock's runnable accounting.
 func modelSleep(d time.Duration) {
-	done := make(chan struct{})
-	vclock.Go(func() {
-		hrtime.Sleep(d)
-		close(done)
-	})
-	<-done
+	hrtime.SleepOutside(d)
 }
 
 // allreducesPerIteration returns how many collective calls one iteration

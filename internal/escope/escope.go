@@ -18,6 +18,8 @@ package escope
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -57,6 +59,17 @@ type Spec struct {
 	// gather wrapper.
 	RootHelpers int
 	Sources     []Source
+	// Health, when set, wraps every remote child in a health guard:
+	// transport faults degrade the gather to partial coverage instead of
+	// failing it, dead children are skipped and probed with backoff, and
+	// Scope.Coverage reports who is reporting. nil keeps the legacy
+	// fail-fast behaviour.
+	Health *HealthPolicy
+	// Retry, when set, is applied to every remote stub in the scope
+	// (with a per-stub deterministic jitter seed) together with a
+	// reconnect path, so transient faults are retried before the health
+	// guard ever sees them. nil keeps single-attempt stubs.
+	Retry *paths.RetryPolicy
 }
 
 // Scope is a built event scope.
@@ -64,9 +77,29 @@ type Scope struct {
 	name    string
 	root    paths.Wrapper
 	readers []*paths.BatchReader
+
+	connsMu sync.Mutex
 	conns   []*vnet.Conn
 
+	guards     []*guard
+	coverPaths map[string][]*guard // source host name -> guards on its path
+
 	pulls atomic.Uint64
+}
+
+func (s *Scope) addConn(c *vnet.Conn) {
+	s.connsMu.Lock()
+	s.conns = append(s.conns, c)
+	s.connsMu.Unlock()
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // Build wires the event scope described by spec over net.
@@ -77,7 +110,37 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 	if len(spec.Sources) == 0 {
 		return nil, fmt.Errorf("escope: %q: no sources", spec.Name)
 	}
-	s := &Scope{name: spec.Name}
+	s := &Scope{name: spec.Name, coverPaths: make(map[string][]*guard)}
+
+	// stubTo wires a stub from -> to over a fresh connection, applying
+	// the spec's retry policy (with a reconnect path) and health guard.
+	// The returned guard is nil when health tracking is off.
+	stubTo := func(label string, from, to *vnet.Host, entry paths.Wrapper) (paths.Wrapper, *guard) {
+		svc := paths.NewService()
+		target := svc.Register(entry)
+		conn := net.Dial(from, to, svc.Handler())
+		s.addConn(conn)
+		name := fmt.Sprintf("%s/stub(%s)", spec.Name, label)
+		stub := paths.NewRemote(name, from, conn, target)
+		if spec.Retry != nil {
+			pol := *spec.Retry
+			if pol.JitterSeed == 0 {
+				pol.JitterSeed = hashName(name)
+			}
+			stub.SetRetry(&pol)
+			stub.SetRedial(func() (vnet.Caller, uint32, error) {
+				nc := net.Dial(from, to, svc.Handler())
+				s.addConn(nc)
+				return nc, target, nil
+			})
+		}
+		if spec.Health == nil {
+			return stub, nil
+		}
+		g := newGuard(name+"!guard", to.Name(), from, stub, spec.Health)
+		s.guards = append(s.guards, g)
+		return g, g
+	}
 
 	// Per-host chains: reader (+ transform), grouped by host.
 	type hostChains struct {
@@ -153,11 +216,23 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 			hc.host, hc.chains, 0)
 	}
 
+	// pathOf filters the nil guards out of a gather path.
+	pathOf := func(gs ...*guard) []*guard {
+		var out []*guard
+		for _, g := range gs {
+			if g != nil {
+				out = append(out, g)
+			}
+		}
+		return out
+	}
+
 	var rootChildren []paths.Wrapper
 	for _, cl := range clusterOrder {
 		cg := byCluster[cl]
 		gw := cl.Gateway()
 		var gwChildren []paths.Wrapper
+		gwGuards := make(map[*vnet.Host]*guard)
 		for _, hc := range cg.hosts {
 			entry, err := hostEntry(hc)
 			if err != nil {
@@ -168,13 +243,11 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 				continue
 			}
 			// The gateway reads the host over its own connection.
-			svc := paths.NewService()
-			target := svc.Register(entry)
-			conn := net.Dial(gw, hc.host, svc.Handler())
-			s.conns = append(s.conns, conn)
-			gwChildren = append(gwChildren, paths.NewRemote(
-				fmt.Sprintf("%s/stub(%s->%s)", spec.Name, gw.Name(), hc.host.Name()),
-				gw, conn, target))
+			child, g := stubTo(
+				fmt.Sprintf("%s->%s", gw.Name(), hc.host.Name()),
+				gw, hc.host, entry)
+			gwGuards[hc.host] = g
+			gwChildren = append(gwChildren, child)
 		}
 		gwGather, err := paths.NewGather(
 			fmt.Sprintf("%s/gwgather(%s)", spec.Name, cl.Name()),
@@ -183,13 +256,11 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 			return nil, err
 		}
 		// The front-end reads the gateway gather over a connection.
-		svc := paths.NewService()
-		target := svc.Register(gwGather)
-		conn := net.Dial(spec.FrontEnd, gw, svc.Handler())
-		s.conns = append(s.conns, conn)
-		rootChildren = append(rootChildren, paths.NewRemote(
-			fmt.Sprintf("%s/stub(fe->%s)", spec.Name, gw.Name()),
-			spec.FrontEnd, conn, target))
+		child, feG := stubTo(fmt.Sprintf("fe->%s", gw.Name()), spec.FrontEnd, gw, gwGather)
+		rootChildren = append(rootChildren, child)
+		for _, hc := range cg.hosts {
+			s.coverPaths[hc.host.Name()] = pathOf(feG, gwGuards[hc.host])
+		}
 	}
 	for _, hc := range direct {
 		entry, err := hostEntry(hc)
@@ -197,16 +268,13 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 			return nil, err
 		}
 		if hc.host == spec.FrontEnd {
+			s.coverPaths[hc.host.Name()] = nil
 			rootChildren = append(rootChildren, entry)
 			continue
 		}
-		svc := paths.NewService()
-		target := svc.Register(entry)
-		conn := net.Dial(spec.FrontEnd, hc.host, svc.Handler())
-		s.conns = append(s.conns, conn)
-		rootChildren = append(rootChildren, paths.NewRemote(
-			fmt.Sprintf("%s/stub(fe->%s)", spec.Name, hc.host.Name()),
-			spec.FrontEnd, conn, target))
+		child, g := stubTo(fmt.Sprintf("fe->%s", hc.host.Name()), spec.FrontEnd, hc.host, entry)
+		s.coverPaths[hc.host.Name()] = pathOf(g)
+		rootChildren = append(rootChildren, child)
 	}
 
 	if len(rootChildren) == 1 {
@@ -256,9 +324,53 @@ func (s *Scope) GatherRate() float64 {
 	return float64(read) / float64(read+skipped)
 }
 
+// Coverage reports which source hosts the scope is currently hearing
+// from: a host is reporting unless some health guard on its gather path
+// is dead. Without a HealthPolicy every host always reports (faults fail
+// the pull instead).
+func (s *Scope) Coverage() Coverage {
+	cov := Coverage{Expected: len(s.coverPaths)}
+	now := hrtime.Now()
+	var oldest hrtime.Stamp = -1
+	for host, path := range s.coverPaths {
+		dead := false
+		for _, g := range path {
+			snap := g.snapshot()
+			if snap.State == Dead {
+				dead = true
+			}
+			if oldest < 0 || snap.LastOK < oldest {
+				oldest = snap.LastOK
+			}
+		}
+		if dead {
+			cov.Missing = append(cov.Missing, host)
+		} else {
+			cov.Reporting++
+		}
+	}
+	sort.Strings(cov.Missing)
+	if oldest >= 0 {
+		cov.Staleness = time.Duration(now - oldest)
+	}
+	return cov
+}
+
+// Health returns a snapshot of every guarded child in the scope.
+func (s *Scope) Health() []ChildHealth {
+	out := make([]ChildHealth, 0, len(s.guards))
+	for _, g := range s.guards {
+		out = append(out, g.snapshot())
+	}
+	return out
+}
+
 // Close shuts down the scope's connections.
 func (s *Scope) Close() {
-	for _, c := range s.conns {
+	s.connsMu.Lock()
+	conns := append([]*vnet.Conn(nil), s.conns...)
+	s.connsMu.Unlock()
+	for _, c := range conns {
 		c.Close()
 	}
 }

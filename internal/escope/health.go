@@ -1,0 +1,248 @@
+// Per-child health tracking for event-scope gathers. A guard wraps each
+// remote child of a gather with an alive → suspect → dead state machine:
+// transport faults are absorbed (the gather keeps going with partial
+// data) and counted; after enough consecutive faults the child is
+// declared dead and skipped, with probe attempts at exponentially
+// backed-off intervals so the child rejoins automatically once its host
+// heals. Source cursors live on the source hosts and persist across
+// outages, so a healed child's first successful pull resumes exactly
+// where gathering stopped — the coverage gap closes without losing the
+// retained window.
+package escope
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eventspace/internal/hrtime"
+	"eventspace/internal/paths"
+	"eventspace/internal/vnet"
+)
+
+// ChildState is a guarded child's health state.
+type ChildState int
+
+const (
+	// Alive: the last operation succeeded.
+	Alive ChildState = iota
+	// Suspect: recent transport faults, but not enough to declare the
+	// child dead; every pull still attempts it.
+	Suspect
+	// Dead: consecutive transport faults reached the policy threshold;
+	// the child is skipped except for backed-off probe attempts.
+	Dead
+)
+
+func (s ChildState) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	}
+	return fmt.Sprintf("ChildState(%d)", int(s))
+}
+
+// HealthPolicy configures per-child health tracking in a scope.
+type HealthPolicy struct {
+	// DeadAfter is the number of consecutive transport faults that moves
+	// a child from suspect to dead. 0 means 3.
+	DeadAfter int
+	// ProbeBase is the wait before the first probe of a dead child; each
+	// failed probe doubles it. 0 means 2ms.
+	ProbeBase time.Duration
+	// ProbeMax caps the probe interval. 0 means 50ms.
+	ProbeMax time.Duration
+}
+
+func (p *HealthPolicy) deadAfter() int {
+	if p.DeadAfter > 0 {
+		return p.DeadAfter
+	}
+	return 3
+}
+
+func (p *HealthPolicy) probeBase() time.Duration {
+	if p.ProbeBase > 0 {
+		return p.ProbeBase
+	}
+	return 2 * time.Millisecond
+}
+
+func (p *HealthPolicy) probeMax() time.Duration {
+	if p.ProbeMax > 0 {
+		return p.ProbeMax
+	}
+	return 50 * time.Millisecond
+}
+
+// ChildHealth is a point-in-time snapshot of one guarded child.
+type ChildHealth struct {
+	Name       string // guarded child's wrapper name
+	Target     string // host (or gateway) the child leads to
+	State      ChildState
+	Fails      int          // consecutive transport faults
+	LastOK     hrtime.Stamp // last successful operation
+	Skips      uint64       // operations skipped while dead
+	Faults     uint64       // total transport faults absorbed
+	Recoveries uint64       // dead -> alive transitions
+}
+
+// guard wraps a remote child wrapper with health tracking. It implements
+// paths.Wrapper; on transport faults it returns an empty reply instead
+// of an error so the enclosing gather proceeds with partial coverage.
+// Application errors pass through untouched.
+type guard struct {
+	name   string
+	host   *vnet.Host
+	target string
+	child  paths.Wrapper
+	policy *HealthPolicy
+
+	mu        sync.Mutex
+	state     ChildState
+	fails     int
+	probeWait time.Duration
+	nextProbe hrtime.Stamp
+	lastOK    hrtime.Stamp
+
+	skips      atomic.Uint64
+	faults     atomic.Uint64
+	recoveries atomic.Uint64
+}
+
+func newGuard(name, target string, host *vnet.Host, child paths.Wrapper, policy *HealthPolicy) *guard {
+	return &guard{
+		name:   name,
+		host:   host,
+		target: target,
+		child:  child,
+		policy: policy,
+		lastOK: hrtime.Now(),
+	}
+}
+
+func (g *guard) Name() string     { return g.name }
+func (g *guard) Host() *vnet.Host { return g.host }
+
+// shouldAttempt decides whether this operation reaches the child: always
+// while alive or suspect, only at probe times while dead.
+func (g *guard) shouldAttempt() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.state != Dead {
+		return true
+	}
+	now := hrtime.Now()
+	if now < g.nextProbe {
+		return false
+	}
+	// Claim this probe slot; concurrent pulls skip until it resolves.
+	g.nextProbe = now + hrtime.Stamp(g.probeWaitLocked())
+	return true
+}
+
+func (g *guard) probeWaitLocked() time.Duration {
+	if g.probeWait <= 0 {
+		g.probeWait = g.policy.probeBase()
+	}
+	return g.probeWait
+}
+
+func (g *guard) noteSuccess() {
+	g.mu.Lock()
+	recovered := g.state == Dead
+	g.state = Alive
+	g.fails = 0
+	g.probeWait = 0
+	g.lastOK = hrtime.Now()
+	g.mu.Unlock()
+	if recovered {
+		g.recoveries.Add(1)
+	}
+}
+
+func (g *guard) noteFault() {
+	g.faults.Add(1)
+	g.mu.Lock()
+	g.fails++
+	if g.fails >= g.policy.deadAfter() {
+		g.state = Dead
+		wait := g.probeWaitLocked()
+		g.nextProbe = hrtime.Now() + hrtime.Stamp(wait)
+		if next := wait * 2; next <= g.policy.probeMax() {
+			g.probeWait = next
+		} else {
+			g.probeWait = g.policy.probeMax()
+		}
+	} else {
+		g.state = Suspect
+	}
+	g.mu.Unlock()
+}
+
+// Op forwards to the child unless it is dead and not due for a probe.
+// Transport faults yield an empty reply (partial coverage); application
+// errors propagate.
+func (g *guard) Op(ctx *paths.Ctx, req paths.Request) (paths.Reply, error) {
+	if !g.shouldAttempt() {
+		g.skips.Add(1)
+		return paths.Reply{}, nil
+	}
+	rep, err := g.child.Op(ctx, req)
+	if err == nil {
+		g.noteSuccess()
+		return rep, nil
+	}
+	if paths.Retryable(err) {
+		g.noteFault()
+		return paths.Reply{}, nil
+	}
+	return paths.Reply{}, err
+}
+
+// State returns the guard's current health state.
+func (g *guard) State() ChildState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.state
+}
+
+func (g *guard) snapshot() ChildHealth {
+	g.mu.Lock()
+	h := ChildHealth{
+		Name:   g.name,
+		Target: g.target,
+		State:  g.state,
+		Fails:  g.fails,
+		LastOK: g.lastOK,
+	}
+	g.mu.Unlock()
+	h.Skips = g.skips.Load()
+	h.Faults = g.faults.Load()
+	h.Recoveries = g.recoveries.Load()
+	return h
+}
+
+var _ paths.Wrapper = (*guard)(nil)
+
+// Coverage reports which source hosts a scope is currently hearing from.
+type Coverage struct {
+	// Expected is the number of distinct source hosts in the scope.
+	Expected int
+	// Reporting is how many of them have no dead guard on their gather
+	// path.
+	Reporting int
+	// Missing names the hosts currently cut off, sorted.
+	Missing []string
+	// Staleness is the age of the oldest last-successful gather over all
+	// guarded paths (zero when the scope has no guards).
+	Staleness time.Duration
+}
+
+// Complete reports full coverage.
+func (c Coverage) Complete() bool { return c.Reporting == c.Expected }

@@ -92,6 +92,24 @@ func Sleep(d time.Duration) {
 	SleepUnscaled(sd)
 }
 
+// SleepOutside waits d of model time from a goroutine that is not a
+// registered model participant — a driver loop polling monitor state
+// between phases. Under the virtual clock it parks on an outside timer
+// that never touches the clock's runnable accounting (see
+// vclock.SleepOutside); with the clock disabled it is an ordinary scaled
+// sleep.
+func SleepOutside(d time.Duration) {
+	sd := ScaleDelay(d)
+	if vclock.Active() {
+		vclock.SleepOutside(sd)
+		return
+	}
+	if sd < time.Microsecond {
+		return
+	}
+	SleepUnscaled(sd)
+}
+
 // SleepUnscaled is Sleep without the scale factor: a precise wait for the
 // given duration (virtual when the discrete-event clock is active).
 func SleepUnscaled(d time.Duration) {

@@ -161,6 +161,8 @@ func NewLoadBalance(tb *cluster.Testbed, tree *cluster.Tree, mode LoadBalanceMod
 	spec.FrontEnd = tb.FrontEnd
 	spec.GatewayHelpers = cfg.GatewayHelpers
 	spec.RootHelpers = cfg.RootHelpers
+	spec.Health = cfg.Health
+	spec.Retry = cfg.Retry
 
 	switch mode {
 	case SingleScope:
@@ -465,3 +467,12 @@ func (lb *LoadBalance) TraceReadRate() float64 {
 // RoundsObserved returns the number of last-arrival observations applied
 // to the weighted tree (single-scope mode) — a liveness measure.
 func (lb *LoadBalance) RoundsObserved() uint64 { return lb.weighted.Total() }
+
+// Coverage annotates the monitor's view with who it is hearing from:
+// source hosts reporting vs expected and the age of the oldest
+// successful gather. With no HealthPolicy configured, coverage is always
+// complete by construction (a fault fails the pull instead).
+func (lb *LoadBalance) Coverage() escope.Coverage { return lb.scope.Coverage() }
+
+// ChildHealth snapshots the health guards of the monitor's event scope.
+func (lb *LoadBalance) ChildHealth() []escope.ChildHealth { return lb.scope.Health() }

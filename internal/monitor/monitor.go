@@ -11,6 +11,8 @@ import (
 
 	"eventspace/internal/analysis"
 	"eventspace/internal/cosched"
+	"eventspace/internal/escope"
+	"eventspace/internal/paths"
 )
 
 // Config holds the knobs shared by the monitors.
@@ -49,6 +51,15 @@ type Config struct {
 	// operation — the property that makes sequential gathering too slow
 	// in Tables 1-3). 0 keeps the default; negative drains fully.
 	ReadBatch int
+	// Health, when set, makes the monitor's event scopes degrade to
+	// partial coverage on transport faults instead of failing the pull:
+	// dead children are skipped and probed with backoff, and Coverage()
+	// reports hosts reporting vs expected. nil keeps fail-fast scopes.
+	Health *escope.HealthPolicy
+	// Retry, when set, is applied to every remote stub in the monitor's
+	// event scopes (transient faults are retried with backoff and a
+	// reconnect path before the health guard counts them).
+	Retry *paths.RetryPolicy
 }
 
 // TCPStatsPlacement selects the host that computes a connection's

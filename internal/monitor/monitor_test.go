@@ -212,6 +212,9 @@ func TestLoadBalanceDistributedTracksCumulativeState(t *testing.T) {
 }
 
 func TestStatsmComputesWrapperAndThreadStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full statsm pipeline takes several seconds")
+	}
 	fastScale(t)
 	tb, tree := buildRig(t, nil)
 	cfg := DefaultConfig()

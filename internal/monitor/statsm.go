@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -190,16 +191,23 @@ func NewStatsm(tb *cluster.Testbed, tree *cluster.Tree, cfg Config, cs *cosched.
 				return nil, err
 			}
 			// The analysis thread reads the peer's trace buffer over
-			// its own connection.
+			// its own connection. Remote-read failures are already
+			// tolerated (the batch proceeds without the peer's tuples);
+			// the retry policy additionally rides out transient faults.
 			rd := paths.NewBatchReader("statsm/peer("+lk.Name+")", peerSide, remoteEC.Buffer(), collect.TupleSize, 0)
 			svc := paths.NewService()
 			target := svc.Register(rd)
 			conn := tb.Net.Dial(statsSide, peerSide, svc.Handler())
 			sh.conns = append(sh.conns, conn)
+			stub := paths.NewRemote("statsm/stub("+lk.Name+")", statsSide, conn, target)
+			if cfg.Retry != nil {
+				pol := *cfg.Retry
+				stub.SetRetry(&pol)
+			}
 			sh.links = append(sh.links, &statsLink{
 				link:          lk,
 				localCur:      localEC.Buffer().NewCursor(),
-				remote:        paths.NewRemote("statsm/stub("+lk.Name+")", statsSide, conn, target),
+				remote:        stub,
 				localIsClient: localIsClient,
 				pendingLocal:  make(map[uint32]collect.TraceTuple),
 				pendingRemote: make(map[uint32]collect.TraceTuple),
@@ -219,6 +227,8 @@ func NewStatsm(tb *cluster.Testbed, tree *cluster.Tree, cfg Config, cs *cosched.
 		GatewayHelpers: cfg.GatewayHelpers,
 		RootHelpers:    cfg.RootHelpers,
 		Sources:        statsSources(order, byHost, false, cfg.readBatch()),
+		Health:         cfg.Health,
+		Retry:          cfg.Retry,
 	})
 	if werr != nil {
 		return nil, werr
@@ -229,6 +239,8 @@ func NewStatsm(tb *cluster.Testbed, tree *cluster.Tree, cfg Config, cs *cosched.
 		GatewayHelpers: cfg.GatewayHelpers,
 		RootHelpers:    cfg.RootHelpers,
 		Sources:        statsSources(order, byHost, true, cfg.readBatch()),
+		Health:         cfg.Health,
+		Retry:          cfg.Retry,
 	})
 	if werr != nil {
 		return nil, werr
@@ -535,6 +547,27 @@ func (sm *Statsm) RoundsAnalyzed() uint64 {
 		sh.mu.Unlock()
 	}
 	return n
+}
+
+// Coverage annotates statsm's view with who it is hearing from, merged
+// over its two event scopes: a host counts as reporting only when both
+// the wrapper-statistics and per-thread-statistics gathers reach it.
+func (sm *Statsm) Coverage() escope.Coverage {
+	w, t := sm.wrapperScope.Coverage(), sm.threadScope.Coverage()
+	missing := make(map[string]bool)
+	for _, h := range w.Missing {
+		missing[h] = true
+	}
+	for _, h := range t.Missing {
+		missing[h] = true
+	}
+	cov := escope.Coverage{Expected: w.Expected, Staleness: max(w.Staleness, t.Staleness)}
+	for h := range missing {
+		cov.Missing = append(cov.Missing, h)
+	}
+	sort.Strings(cov.Missing)
+	cov.Reporting = cov.Expected - len(cov.Missing)
+	return cov
 }
 
 // TCPSamples sums the TCP latency samples over all links.

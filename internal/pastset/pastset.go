@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"eventspace/internal/vclock"
 )
@@ -175,12 +176,14 @@ func (e *Element) at(seq uint64) Tuple {
 // when it reads. A cursor that falls behind the retained window skips
 // forward to the oldest retained tuple and records the gap.
 //
-// A Cursor must not be used concurrently from multiple goroutines.
+// A Cursor must not be used for reading from multiple goroutines, but the
+// Read/Skipped/Rate counters may be sampled concurrently (monitors poll
+// gather rates while the reader thread runs).
 type Cursor struct {
 	e       *Element
-	pos     uint64 // next sequence number to deliver
-	read    uint64 // tuples delivered through this cursor
-	skipped uint64 // tuples this cursor missed due to overwrite
+	pos     uint64        // next sequence number to deliver
+	read    atomic.Uint64 // tuples delivered through this cursor
+	skipped atomic.Uint64 // tuples this cursor missed due to overwrite
 }
 
 // NewCursor returns a cursor positioned at the oldest retained tuple.
@@ -204,7 +207,7 @@ func (c *Cursor) Element() *Element { return c.e }
 // advance normalizes the cursor against the retained window; caller holds mu.
 func (c *Cursor) advance() {
 	if c.pos < c.e.first {
-		c.skipped += c.e.first - c.pos
+		c.skipped.Add(c.e.first - c.pos)
 		c.pos = c.e.first
 	}
 }
@@ -224,7 +227,7 @@ func (c *Cursor) TryNext() (Tuple, error) {
 	}
 	t := c.e.at(c.pos)
 	c.pos++
-	c.read++
+	c.read.Add(1)
 	return t, nil
 }
 
@@ -238,7 +241,7 @@ func (c *Cursor) Next() (Tuple, error) {
 		if c.pos < c.e.next {
 			t := c.e.at(c.pos)
 			c.pos++
-			c.read++
+			c.read.Add(1)
 			return t, nil
 		}
 		if c.e.closed {
@@ -257,27 +260,28 @@ func (c *Cursor) DrainInto(dst []Tuple) []Tuple {
 	for c.pos < c.e.next {
 		dst = append(dst, c.e.at(c.pos))
 		c.pos++
-		c.read++
+		c.read.Add(1)
 	}
 	return dst
 }
 
 // Read reports the number of tuples delivered through this cursor.
-func (c *Cursor) Read() uint64 { return c.read }
+func (c *Cursor) Read() uint64 { return c.read.Load() }
 
 // Skipped reports the number of tuples this cursor missed because they were
 // overwritten before it read them.
-func (c *Cursor) Skipped() uint64 { return c.skipped }
+func (c *Cursor) Skipped() uint64 { return c.skipped.Load() }
 
 // Rate returns the fraction of the tuple stream this cursor observed:
 // delivered / (delivered + skipped). A reader that kept up fully returns 1.
 // With no traffic it returns 1 (nothing was missed).
 func (c *Cursor) Rate() float64 {
-	total := c.read + c.skipped
+	read := c.read.Load()
+	total := read + c.skipped.Load()
 	if total == 0 {
 		return 1
 	}
-	return float64(c.read) / float64(total)
+	return float64(read) / float64(total)
 }
 
 // Lag reports how many retained tuples the cursor has not yet delivered.

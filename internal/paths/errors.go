@@ -1,0 +1,73 @@
+package paths
+
+import (
+	"errors"
+	"io"
+	"net"
+	"syscall"
+
+	"eventspace/internal/vnet"
+)
+
+// Error classification. The retry layer (and escope's health tracking)
+// must distinguish a transport fault — dead connection, lost message,
+// crashed host — from a legitimate application error returned by the
+// remote wrapper chain. Transport faults are retryable: the same
+// operation may succeed on a new attempt or a new connection.
+// Application errors are authoritative: retrying would re-run the remote
+// operation for the same deterministic failure.
+
+// RemoteError is an application-level error relayed from the remote
+// wrapper chain: the call itself succeeded, the remote Op failed. It is
+// never retryable.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "paths: remote: " + e.Msg }
+
+// IsRemote reports whether err is (or wraps) an application error from
+// the remote side.
+func IsRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}
+
+// Retryable reports whether err is a transport fault that a retry (and
+// possibly a reconnect) could fix. Application errors, encode/decode
+// errors and unknown errors are not retryable.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if IsRemote(err) {
+		return false
+	}
+	if errors.Is(err, vnet.ErrConnClosed) ||
+		errors.Is(err, vnet.ErrTimeout) ||
+		errors.Is(err, vnet.ErrHostDown) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNABORTED) || errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var nerr net.Error
+	return errors.As(err, &nerr)
+}
+
+// ConnDead reports whether err indicates the underlying connection is
+// unusable and a redial is needed (as opposed to a timeout or a down
+// host, where the connection itself may still be fine once the fault
+// clears).
+func ConnDead(err error) bool {
+	if !Retryable(err) {
+		return false
+	}
+	return !errors.Is(err, vnet.ErrTimeout) && !errors.Is(err, vnet.ErrHostDown)
+}

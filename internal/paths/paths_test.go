@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"eventspace/internal/hrtime"
 	"eventspace/internal/pastset"
@@ -510,6 +511,45 @@ func TestGatherChildErrorWins(t *testing.T) {
 	g, _ := NewGather("g", h, []Wrapper{ok, bad}, 0)
 	if _, err := g.Op(nil, Request{Kind: OpRead}); err == nil {
 		t.Fatal("child error swallowed")
+	}
+}
+
+// Helper threads must genuinely overlap slow children: with every child
+// blocked the same modelled time, parallel gathering finishes in roughly
+// one child's time while sequential pays the sum. (This is the mechanism
+// behind the Table 2 sequential/parallel gather-rate crossover.)
+func TestGatherHelpersOverlapSlowChildren(t *testing.T) {
+	_, c1, _ := testNet(t)
+	h := c1.Hosts()[0]
+	const children = 4
+	const delay = 50 * time.Millisecond // modelled; 0.5ms real at scale 0.01
+	mk := func(i int) Wrapper {
+		return NewFunc(fmt.Sprintf("slow%d", i), h, func(ctx *Ctx, req Request) (Reply, error) {
+			hrtime.Sleep(delay)
+			return Reply{Ret: 1, Data: []byte{byte(i)}}, nil
+		})
+	}
+	var kids []Wrapper
+	for i := 0; i < children; i++ {
+		kids = append(kids, mk(i))
+	}
+	elapsed := func(helpers int) time.Duration {
+		g, err := NewGather("g", h, kids, helpers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		rep, err := g.Op(nil, Request{Kind: OpRead})
+		if err != nil || rep.Ret != children {
+			t.Fatalf("helpers=%d: %+v, %v", helpers, rep, err)
+		}
+		return time.Since(start)
+	}
+	seq := elapsed(0)
+	par := elapsed(children)
+	if par*2 >= seq {
+		t.Fatalf("parallel gather %v not ~%dx faster than sequential %v: helpers do not overlap",
+			par, children, seq)
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"eventspace/internal/hrtime"
 	"eventspace/internal/vnet"
 )
 
@@ -40,21 +42,27 @@ func (s *Service) Register(w Wrapper) uint32 {
 
 // Handler returns the vnet.Handler that decodes operations and invokes
 // the target wrapper in the communication thread's context.
+//
+// The handler never returns a Go error: every application-level failure
+// (malformed request, unknown target, a wrapper Op error) is encoded
+// into the reply as a status-tagged error frame. That keeps the two
+// failure classes separable at the caller — a transport error can only
+// come from the transport itself.
 func (s *Service) Handler() vnet.Handler {
 	return func(payload []byte) ([]byte, error) {
 		target, ctx, req, err := decodeRequest(payload)
 		if err != nil {
-			return nil, err
+			return encodeErrorReply(err), nil
 		}
 		s.mu.RLock()
 		w, ok := s.targets[target]
 		s.mu.RUnlock()
 		if !ok {
-			return nil, fmt.Errorf("paths: unknown remote target %d", target)
+			return encodeErrorReply(fmt.Errorf("paths: unknown remote target %d", target)), nil
 		}
 		rep, err := w.Op(&ctx, req)
 		if err != nil {
-			return nil, err
+			return encodeErrorReply(err), nil
 		}
 		return encodeReply(rep), nil
 	}
@@ -64,10 +72,23 @@ func (s *Service) Handler() vnet.Handler {
 // target registered with the far host's Service. The calling thread blocks
 // for the full modelled round trip, exactly as a thread blocks in the
 // paper's stub while the communication thread works.
+//
+// With a RetryPolicy installed (SetRetry), transport faults are retried
+// with backoff; with a redial function installed (SetRedial), a dead
+// connection is replaced before the retry. Application errors from the
+// remote chain are returned immediately, never retried.
 type Remote struct {
 	base
+
+	mu     sync.Mutex
 	caller vnet.Caller
 	target uint32
+
+	retry  *RetryPolicy
+	redial func() (vnet.Caller, uint32, error)
+
+	retries   atomic.Uint64
+	reconnect atomic.Uint64
 }
 
 // NewRemote creates a stub on host that invokes target over caller.
@@ -75,24 +96,106 @@ func NewRemote(name string, host *vnet.Host, caller vnet.Caller, target uint32) 
 	return &Remote{base: base{name, host}, caller: caller, target: target}
 }
 
-// Op encodes the request, performs the remote call, and decodes the reply.
-func (r *Remote) Op(ctx *Ctx, req Request) (Reply, error) {
-	resp, err := r.caller.Call(encodeRequest(r.target, ctx, req))
-	if err != nil {
-		return Reply{}, fmt.Errorf("paths: %s: %w", r.name, err)
+// SetRetry installs a retry policy. nil restores single-attempt calls.
+func (r *Remote) SetRetry(p *RetryPolicy) *Remote {
+	r.mu.Lock()
+	r.retry = p
+	r.mu.Unlock()
+	return r
+}
+
+// SetRedial installs the reconnect path: called when the stub's
+// connection is dead, it returns a fresh caller and target id. The old
+// caller is closed before the new one is installed.
+func (r *Remote) SetRedial(f func() (vnet.Caller, uint32, error)) *Remote {
+	r.mu.Lock()
+	r.redial = f
+	r.mu.Unlock()
+	return r
+}
+
+// Retries reports transport-fault retries performed; Reconnects reports
+// successful redials.
+func (r *Remote) Retries() uint64    { return r.retries.Load() }
+func (r *Remote) Reconnects() uint64 { return r.reconnect.Load() }
+
+func (r *Remote) transport() (vnet.Caller, uint32, *RetryPolicy) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.caller, r.target, r.retry
+}
+
+// tryReconnect swaps in a fresh connection via the redial function.
+func (r *Remote) tryReconnect(stale vnet.Caller) bool {
+	r.mu.Lock()
+	redial := r.redial
+	if redial == nil || r.caller != stale {
+		// No reconnect path, or someone else already replaced the
+		// connection — use whatever is installed now.
+		r.mu.Unlock()
+		return redial != nil
 	}
-	return decodeReply(resp)
+	r.mu.Unlock()
+	caller, target, err := redial()
+	if err != nil {
+		return false
+	}
+	r.mu.Lock()
+	old := r.caller
+	r.caller, r.target = caller, target
+	r.mu.Unlock()
+	old.Close()
+	r.reconnect.Add(1)
+	return true
+}
+
+// Op encodes the request, performs the remote call, and decodes the
+// reply, retrying transport faults per the installed policy.
+func (r *Remote) Op(ctx *Ctx, req Request) (Reply, error) {
+	start := hrtime.Now()
+	for attempt := 1; ; attempt++ {
+		caller, target, policy := r.transport()
+		resp, err := caller.Call(encodeRequest(target, ctx, req))
+		if err == nil {
+			return decodeReply(resp)
+		}
+		err = fmt.Errorf("paths: %s: %w", r.name, err)
+		if policy == nil || !Retryable(err) || attempt >= policy.attempts() {
+			return Reply{}, err
+		}
+		if policy.Deadline > 0 && hrtime.Since(start) >= int64(policy.Deadline) {
+			return Reply{}, err
+		}
+		hrtime.Sleep(policy.Backoff(attempt))
+		r.retries.Add(1)
+		if ConnDead(err) {
+			r.tryReconnect(caller)
+		}
+	}
 }
 
 // Close releases the stub's connection.
-func (r *Remote) Close() error { return r.caller.Close() }
+func (r *Remote) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.caller.Close()
+}
 
 // Wire format. Native little-endian, mirroring the paper's "binary format
 // in memory using native byte ordering".
 //
 // request: target u32 | kind u16 | value i64 | threadLen u16 | thread |
-//          dataLen u32 | data
-// reply:   ret i16 | value i64 | dataLen u32 | data
+//
+//	dataLen u32 | data
+//
+// reply:   status u8 | body
+//
+//	status 0: body = ret i16 | value i64 | dataLen u32 | data
+//	status 1: body = application error message (UTF-8)
+const (
+	replyOK       byte = 0
+	replyAppError byte = 1
+)
 
 func encodeRequest(target uint32, ctx *Ctx, req Request) []byte {
 	thread := ""
@@ -142,7 +245,8 @@ func decodeRequest(buf []byte) (target uint32, ctx Ctx, req Request, err error) 
 }
 
 func encodeReply(rep Reply) []byte {
-	buf := make([]byte, 0, 14+len(rep.Data))
+	buf := make([]byte, 0, 15+len(rep.Data))
+	buf = append(buf, replyOK)
 	var tmp [8]byte
 	binary.LittleEndian.PutUint16(tmp[:2], uint16(rep.Ret))
 	buf = append(buf, tmp[:2]...)
@@ -154,15 +258,34 @@ func encodeReply(rep Reply) []byte {
 	return buf
 }
 
+// encodeErrorReply encodes an application error as a status-tagged frame.
+func encodeErrorReply(err error) []byte {
+	msg := err.Error()
+	buf := make([]byte, 0, 1+len(msg))
+	buf = append(buf, replyAppError)
+	return append(buf, msg...)
+}
+
 func decodeReply(buf []byte) (Reply, error) {
-	if len(buf) < 14 {
+	if len(buf) < 1 {
+		return Reply{}, fmt.Errorf("paths: empty reply frame")
+	}
+	status, body := buf[0], buf[1:]
+	switch status {
+	case replyAppError:
+		return Reply{}, &RemoteError{Msg: string(body)}
+	case replyOK:
+	default:
+		return Reply{}, fmt.Errorf("paths: unknown reply status %d", status)
+	}
+	if len(body) < 14 {
 		return Reply{}, fmt.Errorf("paths: short reply frame (%d bytes)", len(buf))
 	}
 	var rep Reply
-	rep.Ret = int16(binary.LittleEndian.Uint16(buf[0:2]))
-	rep.Value = int64(binary.LittleEndian.Uint64(buf[2:10]))
-	dlen := int(binary.LittleEndian.Uint32(buf[10:14]))
-	rest := buf[14:]
+	rep.Ret = int16(binary.LittleEndian.Uint16(body[0:2]))
+	rep.Value = int64(binary.LittleEndian.Uint64(body[2:10]))
+	dlen := int(binary.LittleEndian.Uint32(body[10:14]))
+	rest := body[14:]
 	if len(rest) != dlen {
 		return Reply{}, fmt.Errorf("paths: reply data length %d, frame has %d", dlen, len(rest))
 	}

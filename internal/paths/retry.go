@@ -1,0 +1,76 @@
+package paths
+
+import (
+	"time"
+)
+
+// RetryPolicy bounds how a Remote stub retries transport faults:
+// exponential backoff with deterministic jitter, capped attempts, and an
+// overall deadline in modelled time. The zero value of each field picks
+// a sensible default; a nil *RetryPolicy on a stub means single-attempt
+// (the pre-fault-injection behaviour).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of call attempts (first try
+	// included). 0 means 4.
+	MaxAttempts int
+	// BaseBackoff is the wait before the first retry; each subsequent
+	// retry doubles it. 0 means 200µs.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the per-retry wait. 0 means 5ms.
+	MaxBackoff time.Duration
+	// Deadline bounds the total modelled time spent in one Op including
+	// backoffs; once exceeded no further attempt is made. 0 means no
+	// deadline.
+	Deadline time.Duration
+	// JitterSeed drives the deterministic jitter applied to each
+	// backoff. Two stubs with the same seed back off identically.
+	JitterSeed uint64
+}
+
+func (p *RetryPolicy) attempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return 4
+}
+
+func (p *RetryPolicy) base() time.Duration {
+	if p.BaseBackoff > 0 {
+		return p.BaseBackoff
+	}
+	return 200 * time.Microsecond
+}
+
+func (p *RetryPolicy) cap() time.Duration {
+	if p.MaxBackoff > 0 {
+		return p.MaxBackoff
+	}
+	return 5 * time.Millisecond
+}
+
+// mix64 is splitmix64's finalizer, used for deterministic jitter.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Backoff returns the wait before retry attempt (1-based retry index):
+// base*2^(attempt-1), capped, scaled by a deterministic jitter factor in
+// [0.5, 1.0).
+func (p *RetryPolicy) Backoff(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.base()
+	for i := 1; i < attempt && d < p.cap(); i++ {
+		d *= 2
+	}
+	if d > p.cap() {
+		d = p.cap()
+	}
+	j := mix64(p.JitterSeed ^ uint64(attempt))
+	factor := 0.5 + float64(j>>11)/float64(1<<53)*0.5
+	return time.Duration(float64(d) * factor)
+}

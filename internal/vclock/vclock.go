@@ -48,8 +48,9 @@ type clock struct {
 var c clock
 
 type timer struct {
-	when int64
-	ch   chan struct{}
+	when    int64
+	ch      chan struct{}
+	outside bool // sleeper is not a registered goroutine (SleepOutside)
 }
 
 // timerHeap is a minimal binary min-heap of timers ordered by deadline.
@@ -145,7 +146,9 @@ func (c *clock) advanceLocked() {
 		}
 		for len(c.timers) > 0 && c.timers[0].when <= c.now {
 			t := c.timers.pop()
-			c.running++
+			if !t.outside {
+				c.running++
+			}
 			close(t.ch)
 		}
 	}
@@ -219,6 +222,33 @@ func Sleep(d time.Duration) {
 	ch := make(chan struct{})
 	c.timers.push(timer{when: c.now + int64(d), ch: ch})
 	c.running--
+	c.advanceLocked()
+	c.mu.Unlock()
+	<-ch
+}
+
+// SleepOutside suspends an unregistered (driver) goroutine until the
+// virtual clock reaches now+d. Unlike Sleep it leaves the runnable count
+// alone on both ends: the caller was never part of the model, so parking
+// it must not let the clock advance past a still-runnable model
+// goroutine, and waking it re-adds nothing. The deadline still behaves
+// like any other pending wakeup — the timer fires once every registered
+// goroutine is blocked and the clock reaches it. Calling plain Sleep
+// from an unregistered goroutine instead corrupts the runnable count
+// (it decrements a credit it never added), which lets the clock run
+// ahead of freshly spawned model goroutines.
+func SleepOutside(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if !c.active {
+		c.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	c.timers.push(timer{when: c.now + int64(d), ch: ch, outside: true})
+	// The model may already be idle; nobody else would advance then.
 	c.advanceLocked()
 	c.mu.Unlock()
 	<-ch

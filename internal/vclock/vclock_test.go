@@ -465,3 +465,46 @@ func TestStatsAndQuiesce(t *testing.T) {
 	}
 	Disable()
 }
+
+func TestSleepOutsideWaitsForRunnableModelGoroutines(t *testing.T) {
+	withClock(t, func() {
+		// The driver (this goroutine, unregistered) parks on an outside
+		// timer while a model goroutine still has virtual work pending.
+		// The clock must not advance past the worker: by the time the
+		// outside sleep returns, the worker's shorter deadline has fired.
+		var workerWoke atomic.Bool
+		Go(func() {
+			Sleep(5 * time.Millisecond)
+			workerWoke.Store(true)
+		})
+		SleepOutside(10 * time.Millisecond)
+		if !workerWoke.Load() {
+			t.Error("outside sleeper returned before the model goroutine ran")
+		}
+		if now := Now(); now != int64(10*time.Millisecond) {
+			t.Errorf("virtual now = %d, want 10ms", now)
+		}
+		if _, running, _, _ := Stats(); running != 0 {
+			t.Errorf("running = %d after outside sleep, want 0", running)
+		}
+	})
+}
+
+func TestSleepOutsideIdleModelJumps(t *testing.T) {
+	withClock(t, func() {
+		// With no registered goroutines at all, the outside timer is the
+		// only event: the clock jumps straight to the deadline.
+		start := time.Now()
+		SleepOutside(time.Second)
+		if real := time.Since(start); real > 100*time.Millisecond {
+			t.Errorf("outside sleep of idle model took %v real time", real)
+		}
+		if now := Now(); now != int64(time.Second) {
+			t.Errorf("virtual now = %d, want 1s", now)
+		}
+	})
+}
+
+func TestSleepOutsideDisabledReturns(t *testing.T) {
+	SleepOutside(time.Hour) // clock inactive: must not block
+}

@@ -129,6 +129,22 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	}
 }
 
+// ResetConns abruptly closes every currently-accepted connection while
+// continuing to accept new ones — a fault-injection hook modelling a
+// server-side connection reset. In-flight and subsequent calls on the
+// client side fail with a transport error until the client redials.
+func (s *TCPServer) ResetConns() {
+	s.mu.Lock()
+	victims := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		victims = append(victims, c)
+	}
+	s.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+}
+
 // Close stops accepting and closes all connections.
 func (s *TCPServer) Close() error {
 	s.mu.Lock()

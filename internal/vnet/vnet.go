@@ -176,6 +176,11 @@ type Network struct {
 	wanDelay WANDelayFunc // nil: all sites reachable via inter link
 
 	msgs atomic.Uint64 // messages transmitted, for accounting
+
+	faults atomic.Pointer[Injector] // active fault injector, or nil
+
+	connsMu sync.Mutex
+	conns   map[*Conn]struct{} // open modelled connections, for fault resets
 }
 
 // NewNetwork creates an empty testbed whose inter-cluster LAN uses the
@@ -186,6 +191,7 @@ func NewNetwork(inter LinkSpec, cost CostModel) *Network {
 		clusters: make(map[string]*Cluster),
 		inter:    inter,
 		cost:     cost,
+		conns:    make(map[*Conn]struct{}),
 	}
 }
 
@@ -385,17 +391,25 @@ type Conn struct {
 	client *Host
 	server *Host
 	reqs   *vclock.Queue[request]
+
+	inflightMu sync.Mutex
+	inflight   map[*vclock.Event]struct{} // picked up, reply not yet fired
 }
 
 // Dial opens a connection from client to server whose communication
-// thread invokes handler for every request.
+// thread invokes handler for every request. Dialling always succeeds —
+// like a TCP SYN to a dead host, failure only surfaces on the first Call.
 func (n *Network) Dial(client, server *Host, handler Handler) *Conn {
 	c := &Conn{
-		net:    n,
-		client: client,
-		server: server,
-		reqs:   vclock.NewQueue[request](),
+		net:      n,
+		client:   client,
+		server:   server,
+		reqs:     vclock.NewQueue[request](),
+		inflight: make(map[*vclock.Event]struct{}),
 	}
+	n.connsMu.Lock()
+	n.conns[c] = struct{}{}
+	n.connsMu.Unlock()
 	vclock.Go(func() { c.serve(handler) })
 	return c
 }
@@ -406,6 +420,9 @@ func (c *Conn) serve(handler Handler) {
 		if !ok {
 			return
 		}
+		c.inflightMu.Lock()
+		c.inflight[req.reply] = struct{}{}
+		c.inflightMu.Unlock()
 		// The communication thread wakes up, then receive-side
 		// processing charges the server CPU.
 		hrtime.Sleep(c.net.cost.WakeLatency)
@@ -413,6 +430,9 @@ func (c *Conn) serve(handler Handler) {
 		payload, err := handler(req.payload)
 		// Send-side processing of the reply charges the server CPU.
 		c.server.Occupy(c.net.cost.SendCPU)
+		c.inflightMu.Lock()
+		delete(c.inflight, req.reply)
+		c.inflightMu.Unlock()
 		req.reply.Fire(payload, err)
 	}
 }
@@ -420,17 +440,60 @@ func (c *Conn) serve(handler Handler) {
 // Call sends a request and blocks until the response returns, modelling
 // the full round trip: client send CPU, forward transit, serial CT
 // processing, handler execution, reply transit, client receive CPU.
+//
+// Under an active fault plan a call can instead fail: ErrHostDown when
+// either endpoint is crashed (after the connect-refused latency),
+// ErrTimeout when the traffic crosses a partition or a message leg is
+// dropped, and ErrConnClosed when the connection was reset.
 func (c *Conn) Call(payload []byte) ([]byte, error) {
+	if c.reqs.Closed() {
+		// Writing to a closed connection fails locally, before any
+		// network interaction.
+		return nil, ErrConnClosed
+	}
+	var cf callFaults
+	if inj := c.net.injector(); inj != nil {
+		if inj.hostDown(c.server) || inj.hostDown(c.client) {
+			// Connect refused: the destination's stack answers (or the
+			// local stack fails) after roughly one propagation delay.
+			hrtime.Sleep(c.net.OneWayDelay(c.client, c.server, 0))
+			return nil, ErrHostDown
+		}
+		if inj.cut(c.client, c.server) {
+			// Blackholed: nothing answers until the caller gives up.
+			hrtime.Sleep(inj.plan.timeout())
+			return nil, ErrTimeout
+		}
+		cf = inj.planCall(c.client, c.server)
+	}
+
 	c.client.Occupy(c.net.cost.SendCPU)
+	if cf.spikeReq {
+		hrtime.Sleep(cf.spikeDelay)
+	}
+	if cf.dropReq {
+		// The request is lost in flight; the handler never runs.
+		hrtime.Sleep(cf.timeout)
+		return nil, ErrTimeout
+	}
 	c.net.transit(c.client, c.server, len(payload))
 
 	req := request{payload: payload, reply: vclock.NewEvent()}
 	if err := c.reqs.Push(req); err != nil {
 		return nil, ErrConnClosed
 	}
+	if cf.dropRep {
+		// The reply is lost: the server processes the request (side
+		// effects happen) but the caller never sees the response.
+		hrtime.Sleep(cf.timeout)
+		return nil, ErrTimeout
+	}
 	resp, err := req.reply.Wait()
 	if err != nil {
 		return nil, err
+	}
+	if cf.spikeRep {
+		hrtime.Sleep(cf.spikeDelay)
 	}
 	c.net.transit(c.server, c.client, len(resp))
 	hrtime.Sleep(c.net.cost.WakeLatency)
@@ -438,13 +501,37 @@ func (c *Conn) Call(payload []byte) ([]byte, error) {
 	return resp, nil
 }
 
-// Close shuts the connection down. Calls that have not yet been picked up
-// by the communication thread fail with ErrConnClosed.
+// Close shuts the connection down. Queued calls and the call currently
+// being served both fail with ErrConnClosed (the reply event is
+// first-fire-wins, so a handler completing later is harmless).
 func (c *Conn) Close() error {
+	c.net.connsMu.Lock()
+	delete(c.net.conns, c)
+	c.net.connsMu.Unlock()
 	for _, req := range c.reqs.Close() {
 		req.reply.Fire(nil, ErrConnClosed)
 	}
+	c.inflightMu.Lock()
+	for ev := range c.inflight {
+		ev.Fire(nil, ErrConnClosed)
+	}
+	c.inflightMu.Unlock()
 	return nil
+}
+
+// resetConnsMatching closes every open connection the predicate selects.
+func (n *Network) resetConnsMatching(match func(*Conn) bool) {
+	n.connsMu.Lock()
+	var victims []*Conn
+	for c := range n.conns {
+		if match(c) {
+			victims = append(victims, c)
+		}
+	}
+	n.connsMu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
 }
 
 var _ Caller = (*Conn)(nil)
