@@ -7,7 +7,11 @@
 // Usage:
 //
 //	esbench [-full] [-experiment all|sec5|sec61|table1|table2|table3|scalability]
-//	        [-repeats N] [-markdown]
+//	        [-repeats N] [-markdown] [-selfmetrics]
+//
+// -selfmetrics additionally runs a short instrumented demo and prints
+// the self-metrics table: the per-wrapper cost of the monitoring stack
+// itself ("monitoring the monitor").
 //
 // The default quick mode scales host counts and iterations down so the
 // whole suite completes in minutes; -full uses the paper's host counts.
@@ -23,6 +27,9 @@ import (
 	"time"
 
 	"eventspace/internal/bench"
+	"eventspace/internal/cluster"
+	"eventspace/internal/monitor"
+	"eventspace/internal/viz"
 )
 
 func main() {
@@ -30,6 +37,7 @@ func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run: all, sec5, sec61, table1, table2, table3, scalability")
 	repeats := flag.Int("repeats", 0, "repetitions per measurement (0 = preset default)")
 	markdown := flag.Bool("markdown", false, "emit rows as a markdown table (for EXPERIMENTS.md)")
+	selfMetrics := flag.Bool("selfmetrics", false, "also run a short demo with self-metrics and print the cost table")
 	flag.Parse()
 
 	opts := bench.QuickOptions()
@@ -90,9 +98,17 @@ func main() {
 		}
 		fmt.Println()
 	}
-	if !ran {
+	if !ran && !*selfMetrics {
 		fmt.Fprintf(os.Stderr, "esbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
+	}
+	if *selfMetrics {
+		fmt.Println("== self-metrics — cost of monitoring the monitor ==")
+		if err := runSelfMetrics(); err != nil {
+			fmt.Fprintf(os.Stderr, "esbench: selfmetrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
 	}
 	fmt.Printf("completed in %v (mode: %s, repeats: %d)\n",
 		time.Since(start).Round(time.Millisecond), mode(*full), opts.Repeats)
@@ -103,6 +119,34 @@ func mode(full bool) string {
 		return "full"
 	}
 	return "quick"
+}
+
+// runSelfMetrics executes a small instrumented run with the self-metrics
+// registry attached and prints the resulting cost table.
+func runSelfMetrics() error {
+	cfg := monitor.DefaultConfig()
+	cfg.PullInterval = 400 * time.Microsecond
+	cfg.AnalysisInterval = 500 * time.Microsecond
+	cfg.IntermediateCap = 100
+	res, err := bench.Run(bench.RunSpec{
+		Testbed:     cluster.SingleTin(8),
+		Fanout:      8,
+		Trees:       2,
+		Workload:    bench.Gsum,
+		Iterations:  300,
+		Monitor:     bench.LBDistributed,
+		MonitorCfg:  cfg,
+		TimeScale:   1,
+		TraceBufCap: 100,
+		SelfMetrics: true,
+	})
+	if err != nil {
+		return err
+	}
+	if res.Self == nil {
+		return fmt.Errorf("run returned no self-metrics snapshot")
+	}
+	return viz.SelfMetrics(os.Stdout, *res.Self)
 }
 
 func printMarkdown(rows []bench.Row) {

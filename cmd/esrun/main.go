@@ -8,7 +8,7 @@
 //	esrun [-topology tin32|tin49|lan|lanfour|wan] [-hosts N]
 //	      [-workload gsum|compute-gsum] [-iterations N]
 //	      [-monitor none|collectors|lb-single|lb-distributed|statsm]
-//	      [-parallel] [-cosched none|1|2] [-overhead]
+//	      [-parallel] [-cosched none|1|2] [-overhead] [-selfmetrics]
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 	"eventspace/internal/cluster"
 	"eventspace/internal/cosched"
 	"eventspace/internal/monitor"
+	"eventspace/internal/viz"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 	parallel := flag.Bool("parallel", true, "gather with helper threads (parallel) instead of sequentially")
 	coschedStrategy := flag.String("cosched", "2", "coscheduling strategy: none, 1 or 2")
 	overhead := flag.Bool("overhead", false, "also run the unmonitored base and report relative overhead")
+	selfMetrics := flag.Bool("selfmetrics", false, "account the monitoring stack's own per-wrapper costs and print the table")
 	flag.Parse()
 
 	spec, err := buildSpec(*topology, *hosts, *workload, *iterations, *monitorKind, *parallel, *coschedStrategy)
@@ -39,6 +41,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "esrun: %v\n", err)
 		os.Exit(2)
 	}
+	spec.SelfMetrics = *selfMetrics
 
 	if spec.Workload == bench.ComputeGsum {
 		d, err := bench.TuneCompute(spec, 60)
@@ -158,5 +161,8 @@ func report(spec bench.RunSpec, res bench.RunResult) {
 	if res.WrapperGatherRate > 0 {
 		fmt.Printf("  wrapper stats rate: %s\n", bench.FormatRate(res.WrapperGatherRate))
 		fmt.Printf("  thread stats rate : %s\n", bench.FormatRate(res.ThreadGatherRate))
+	}
+	if res.Self != nil {
+		viz.SelfMetrics(os.Stdout, *res.Self)
 	}
 }

@@ -1,8 +1,9 @@
 // Command esviz runs a short monitored workload with an injected
 // straggler and renders the monitoring views as text: the testbed
 // topology, the instrumented spanning tree (figure 1), the load-balance
-// monitor's weighted tree (figure 3's visualization input) and statsm's
-// per-wrapper statistics table (figure 4's analysis tree).
+// monitor's weighted tree (figure 3's visualization input), statsm's
+// per-wrapper statistics table (figure 4's analysis tree), and the
+// self-metrics table accounting the monitoring stack's own costs.
 //
 // Usage:
 //
@@ -18,6 +19,7 @@ import (
 	"eventspace/internal/cluster"
 	"eventspace/internal/core"
 	"eventspace/internal/cosched"
+	"eventspace/internal/metrics"
 	"eventspace/internal/monitor"
 	"eventspace/internal/viz"
 )
@@ -35,6 +37,8 @@ func main() {
 			return err
 		}
 		defer sys.Close()
+		reg := metrics.New()
+		sys.UseMetrics(reg)
 
 		tree, err := sys.BuildTree(cluster.TreeSpec{
 			Name: "T1", Fanout: 8, ThreadsPerHost: 1,
@@ -84,6 +88,8 @@ func main() {
 		viz.GatherReport(os.Stdout, "load-balance scope", lb.GatherRate(), 0)
 		viz.GatherReport(os.Stdout, "statsm wrapper scope", sm.WrapperGatherRate(), 0)
 		viz.GatherReport(os.Stdout, "statsm thread scope", sm.ThreadGatherRate(), 0)
+		fmt.Println("\n== self-metrics ==")
+		viz.SelfMetrics(os.Stdout, reg.Snapshot())
 		return nil
 	})
 	if err != nil {

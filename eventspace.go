@@ -52,6 +52,7 @@ import (
 	"eventspace/internal/cosched"
 	"eventspace/internal/escope"
 	"eventspace/internal/hrtime"
+	"eventspace/internal/metrics"
 	"eventspace/internal/monitor"
 	"eventspace/internal/paths"
 	"eventspace/internal/vnet"
@@ -127,6 +128,21 @@ type (
 	// ChildHealth is a snapshot of one guarded gather child.
 	ChildHealth = escope.ChildHealth
 )
+
+// Self-metrics ("monitor the monitor", see DESIGN.md "Self-metrics").
+type (
+	// MetricsRegistry collects per-wrapper cost accounting for the
+	// monitoring stack itself. Install it with System.UseMetrics or via
+	// TreeSpec.Metrics / MonitorConfig.Metrics; nil disables.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of every site and counter.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsOpStats is one instrumented operation site's snapshot.
+	MetricsOpStats = metrics.OpStats
+)
+
+// NewMetricsRegistry returns an empty self-metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
 
 // Fault event kinds.
 const (

@@ -20,6 +20,7 @@ import (
 	"eventspace/internal/cluster"
 	"eventspace/internal/cosched"
 	"eventspace/internal/hrtime"
+	"eventspace/internal/metrics"
 	"eventspace/internal/monitor"
 	"eventspace/internal/paths"
 	"eventspace/internal/vclock"
@@ -113,6 +114,10 @@ type RunSpec struct {
 	TimeScale float64
 	// TraceBufCap overrides the trace buffer size (default 3750).
 	TraceBufCap int
+	// SelfMetrics wires the run's collectors and monitors into a fresh
+	// self-metrics registry and returns its snapshot in RunResult.Self —
+	// the cost of monitoring the monitor.
+	SelfMetrics bool
 }
 
 // RunResult is one run's measurements.
@@ -127,6 +132,9 @@ type RunResult struct {
 	ThreadGatherRate  float64 // statsm
 	TraceReadRate     float64
 	Messages          uint64 // network messages during the run
+
+	// Self is the self-metrics snapshot (nil unless RunSpec.SelfMetrics).
+	Self *metrics.Snapshot
 }
 
 // Run executes one specification under the discrete-event virtual clock
@@ -164,6 +172,14 @@ func Run(spec RunSpec) (RunResult, error) {
 		cs = cosched.NewSet(spec.MonitorCfg.Strategy)
 	}
 
+	var selfReg *metrics.Registry
+	if spec.SelfMetrics {
+		selfReg = metrics.New()
+		if spec.MonitorCfg.Metrics == nil {
+			spec.MonitorCfg.Metrics = selfReg
+		}
+	}
+
 	instrument := spec.Monitor != NoMonitor
 	built := make([]*cluster.Tree, trees)
 	for i := range built {
@@ -174,6 +190,7 @@ func Run(spec RunSpec) (RunResult, error) {
 			Instrument:     instrument,
 			TraceBufCap:    spec.TraceBufCap,
 			WANAllToAll:    spec.Testbed.WAN,
+			Metrics:        selfReg,
 		}
 		if cs != nil {
 			ts.Notifier = func(h *vnet.Host) paths.CollectiveNotifier { return cs.For(h) }
@@ -278,6 +295,10 @@ func Run(spec RunSpec) (RunResult, error) {
 		modelSleep(20 * time.Millisecond)
 	}
 	collectRates(&res)
+	if selfReg != nil {
+		snap := selfReg.Snapshot()
+		res.Self = &snap
+	}
 	stopMonitor()
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"eventspace/internal/collect"
+	"eventspace/internal/metrics"
 	"eventspace/internal/pastset"
 	"eventspace/internal/paths"
 	"eventspace/internal/vnet"
@@ -35,6 +36,9 @@ type TreeSpec struct {
 	// Notifier, when set, supplies the per-host coscheduling notifier
 	// wired into every collective wrapper on that host.
 	Notifier func(h *vnet.Host) paths.CollectiveNotifier
+	// Metrics, when set, wires every event collector the build creates
+	// into the self-metrics registry. nil disables self-metrics.
+	Metrics *metrics.Registry
 }
 
 // ThreadPort is one application thread's entry into the tree.
@@ -333,6 +337,7 @@ func BuildTree(tb *Testbed, spec TreeSpec) (*Tree, error) {
 		spec: spec,
 		tree: &Tree{Name: spec.Name, Spec: spec, Collectors: collect.NewRegistry()},
 	}
+	b.tree.Collectors.UseMetrics(spec.Metrics)
 	clusters := tb.Clusters
 
 	result := func(h *vnet.Host, tag string) (*paths.ValueStore, error) {

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"eventspace/internal/hrtime"
+	"eventspace/internal/metrics"
 	"eventspace/internal/pastset"
 	"eventspace/internal/paths"
 	"eventspace/internal/vnet"
@@ -149,6 +150,7 @@ type EventCollector struct {
 	seq  atomic.Uint32
 
 	enabled atomic.Bool
+	met     atomic.Pointer[metrics.Op]
 }
 
 // Name returns the collector's name.
@@ -170,6 +172,11 @@ func (e *EventCollector) Buffer() *pastset.Element { return e.buf }
 // operations untouched; the paper measures monitored runs against exactly
 // this un-instrumented behaviour.
 func (e *EventCollector) SetEnabled(on bool) { e.enabled.Store(on) }
+
+// SetMetrics installs the collector's self-metrics site, which records
+// the cost of each tuple write (the paper's "cost of monitoring": encode
+// plus buffer write, not the traced operation itself). nil disables.
+func (e *EventCollector) SetMetrics(op *metrics.Op) { e.met.Store(op) }
 
 // Op timestamps the next wrapper's operation and records a trace tuple.
 // Failed operations record Ret = -1 before the error propagates.
@@ -194,6 +201,9 @@ func (e *EventCollector) Op(ctx *paths.Ctx, req paths.Request) (paths.Reply, err
 	// The write must not fail the traced operation: a closed trace
 	// buffer simply stops recording.
 	_, _ = e.buf.Write(t.Encode())
+	if m := e.met.Load(); m != nil {
+		m.Record(hrtime.Now()-end, TupleSize, nil)
+	}
 	return rep, err
 }
 
@@ -205,11 +215,31 @@ type Registry struct {
 	mu   sync.Mutex
 	byID map[uint32]*EventCollector
 	next uint32
+	met  *metrics.Registry
 }
 
 // NewRegistry returns an empty collector registry.
 func NewRegistry() *Registry {
 	return &Registry{byID: make(map[uint32]*EventCollector)}
+}
+
+// UseMetrics wires every collector created afterwards (and all existing
+// ones) into the self-metrics registry. nil detaches new collectors.
+func (r *Registry) UseMetrics(mr *metrics.Registry) {
+	r.mu.Lock()
+	r.met = mr
+	ecs := make([]*EventCollector, 0, len(r.byID))
+	for _, ec := range r.byID {
+		ecs = append(ecs, ec)
+	}
+	r.mu.Unlock()
+	for _, ec := range ecs {
+		if mr == nil {
+			ec.SetMetrics(nil)
+		} else {
+			ec.SetMetrics(mr.Op(metrics.KindCollector, ec.Name()))
+		}
+	}
 }
 
 // New creates an event collector around next, backed by a fresh trace
@@ -231,7 +261,11 @@ func (r *Registry) New(name string, host *vnet.Host, meta Meta, next paths.Wrapp
 	ec.enabled.Store(true)
 	r.mu.Lock()
 	r.byID[id] = ec
+	mr := r.met
 	r.mu.Unlock()
+	if mr != nil {
+		ec.SetMetrics(mr.Op(metrics.KindCollector, name))
+	}
 	return ec, nil
 }
 

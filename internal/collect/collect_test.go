@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"eventspace/internal/hrtime"
+	"eventspace/internal/metrics"
 	"eventspace/internal/paths"
 	"eventspace/internal/vnet"
 )
@@ -259,5 +260,74 @@ func BenchmarkEventCollectorWrite(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ec.Op(ctx, req)
+	}
+}
+
+// BenchmarkEventCollectorWriteWithMetrics measures the same write with
+// the self-metrics site attached — the cost of monitoring the monitor.
+func BenchmarkEventCollectorWriteWithMetrics(b *testing.B) {
+	n := vnet.NewNetwork(vnet.FastEthernet, vnet.DefaultCostModel())
+	h, _ := n.AddStandaloneHost("bench", 2)
+	reg := NewRegistry()
+	reg.UseMetrics(metrics.New())
+	inner := paths.NewFunc("inner", h, func(ctx *paths.Ctx, req paths.Request) (paths.Reply, error) {
+		return paths.Reply{}, nil
+	})
+	ec, _ := reg.New("ec", h, Meta{}, inner, 3750)
+	ctx := &paths.Ctx{Thread: "bench"}
+	req := paths.Request{Kind: paths.OpWrite, Value: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ec.Op(ctx, req)
+	}
+}
+
+func TestCollectorSelfMetrics(t *testing.T) {
+	h := testHost(t)
+	reg := NewRegistry()
+	mr := metrics.New()
+	reg.UseMetrics(mr)
+	inner := paths.NewFunc("inner", h, func(ctx *paths.Ctx, req paths.Request) (paths.Reply, error) {
+		return paths.Reply{}, nil
+	})
+	ec, err := reg.New("ec-met", h, Meta{}, inner, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ec.Op(&paths.Ctx{}, paths.Request{Kind: paths.OpWrite}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := mr.Snapshot()
+	sites := snap.ByKind(metrics.KindCollector)
+	if len(sites) != 1 || sites[0].Name != "ec-met" {
+		t.Fatalf("collector sites = %+v", sites)
+	}
+	if sites[0].Ops != 3 || sites[0].Lat.Count != 3 || sites[0].Bytes != 3*TupleSize {
+		t.Fatalf("site = %+v, want 3 writes of %d bytes", sites[0], TupleSize)
+	}
+	// UseMetrics also wires collectors that already exist, and nil
+	// detaches them.
+	reg2 := NewRegistry()
+	ec2, err := reg2.New("ec-late", h, Meta{}, inner, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr2 := metrics.New()
+	reg2.UseMetrics(mr2)
+	if _, err := ec2.Op(&paths.Ctx{}, paths.Request{Kind: paths.OpWrite}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mr2.Snapshot().ByKind(metrics.KindCollector); len(got) != 1 || got[0].Ops != 1 {
+		t.Fatalf("late-wired collector sites = %+v", got)
+	}
+	reg2.UseMetrics(nil)
+	if _, err := ec2.Op(&paths.Ctx{}, paths.Request{Kind: paths.OpWrite}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mr2.Snapshot().ByKind(metrics.KindCollector); got[0].Ops != 1 {
+		t.Fatalf("detached collector still recorded: %+v", got)
 	}
 }

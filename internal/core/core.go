@@ -13,6 +13,7 @@ import (
 	"eventspace/internal/cluster"
 	"eventspace/internal/cosched"
 	"eventspace/internal/hrtime"
+	"eventspace/internal/metrics"
 	"eventspace/internal/monitor"
 	"eventspace/internal/paths"
 	"eventspace/internal/vclock"
@@ -29,6 +30,7 @@ type System struct {
 	trees    map[string]*cluster.Tree
 	monitors []interface{ Stop() }
 	closed   bool
+	met      *metrics.Registry
 }
 
 // New builds a system over the given testbed specification. The strategy
@@ -52,6 +54,23 @@ func (s *System) Testbed() *cluster.Testbed { return s.tb }
 // Cosched exposes the coscheduling controller set.
 func (s *System) Cosched() *cosched.Set { return s.cs }
 
+// UseMetrics installs a self-metrics registry: every tree built and
+// monitor attached afterwards is wired into it unless its spec/config
+// carries its own. nil disables.
+func (s *System) UseMetrics(reg *metrics.Registry) {
+	s.mu.Lock()
+	s.met = reg
+	s.mu.Unlock()
+}
+
+// Metrics returns the installed self-metrics registry (nil when self
+// metrics are off).
+func (s *System) Metrics() *metrics.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.met
+}
+
 // BuildTree builds a spanning tree over the testbed, wiring the system's
 // coscheduling controllers into its collective wrappers.
 func (s *System) BuildTree(spec cluster.TreeSpec) (*cluster.Tree, error) {
@@ -65,6 +84,9 @@ func (s *System) BuildTree(spec cluster.TreeSpec) (*cluster.Tree, error) {
 	}
 	if spec.Notifier == nil {
 		spec.Notifier = func(h *vnet.Host) paths.CollectiveNotifier { return s.cs.For(h) }
+	}
+	if spec.Metrics == nil {
+		spec.Metrics = s.met
 	}
 	tree, err := cluster.BuildTree(s.tb, spec)
 	if err != nil {
@@ -84,6 +106,9 @@ func (s *System) Tree(name string) (*cluster.Tree, bool) {
 
 // AttachLoadBalance builds and starts a load-balance monitor over tree.
 func (s *System) AttachLoadBalance(tree *cluster.Tree, mode monitor.LoadBalanceMode, cfg monitor.Config) (*monitor.LoadBalance, error) {
+	if cfg.Metrics == nil {
+		cfg.Metrics = s.Metrics()
+	}
 	lb, err := monitor.NewLoadBalance(s.tb, tree, mode, cfg, s.cs)
 	if err != nil {
 		return nil, err
@@ -97,6 +122,9 @@ func (s *System) AttachLoadBalance(tree *cluster.Tree, mode monitor.LoadBalanceM
 
 // AttachStatsm builds and starts the statistics monitor over tree.
 func (s *System) AttachStatsm(tree *cluster.Tree, cfg monitor.Config) (*monitor.Statsm, error) {
+	if cfg.Metrics == nil {
+		cfg.Metrics = s.Metrics()
+	}
 	sm, err := monitor.NewStatsm(s.tb, tree, cfg, s.cs)
 	if err != nil {
 		return nil, err

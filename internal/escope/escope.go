@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"eventspace/internal/hrtime"
+	"eventspace/internal/metrics"
 	"eventspace/internal/pastset"
 	"eventspace/internal/paths"
 	"eventspace/internal/vclock"
@@ -70,6 +71,10 @@ type Spec struct {
 	// reconnect path, so transient faults are retried before the health
 	// guard ever sees them. nil keeps single-attempt stubs.
 	Retry *paths.RetryPolicy
+	// Metrics, when set, wires every wrapper the build creates (stubs,
+	// readers, gathers), the scope's pulls and its pullers into the
+	// self-metrics registry. nil disables self-metrics entirely.
+	Metrics *metrics.Registry
 }
 
 // Scope is a built event scope.
@@ -78,19 +83,50 @@ type Scope struct {
 	root    paths.Wrapper
 	readers []*paths.BatchReader
 
+	// Connection bookkeeping: the scope tracks exactly the live
+	// connections (redial replaces its stub's entry instead of
+	// accumulating), and Close is sticky — connections dialled after
+	// Close are closed immediately instead of leaking.
 	connsMu sync.Mutex
-	conns   []*vnet.Conn
+	conns   map[*vnet.Conn]struct{}
+	closed  bool
 
 	guards     []*guard
 	coverPaths map[string][]*guard // source host name -> guards on its path
 
 	pulls atomic.Uint64
+
+	met    *metrics.Registry
+	pullOp *metrics.Op
 }
 
-func (s *Scope) addConn(c *vnet.Conn) {
+// addConn tracks a live connection. It reports false — and closes the
+// connection — when the scope is already closed.
+func (s *Scope) addConn(c *vnet.Conn) bool {
 	s.connsMu.Lock()
-	s.conns = append(s.conns, c)
+	if s.closed {
+		s.connsMu.Unlock()
+		c.Close()
+		return false
+	}
+	s.conns[c] = struct{}{}
 	s.connsMu.Unlock()
+	return true
+}
+
+// dropConn forgets a connection replaced by a redial (the stub closes
+// it); keeping it tracked would grow Close's work unboundedly.
+func (s *Scope) dropConn(c *vnet.Conn) {
+	s.connsMu.Lock()
+	delete(s.conns, c)
+	s.connsMu.Unlock()
+}
+
+// trackedConns reports how many live connections the scope tracks.
+func (s *Scope) trackedConns() int {
+	s.connsMu.Lock()
+	defer s.connsMu.Unlock()
+	return len(s.conns)
 }
 
 func hashName(s string) uint64 {
@@ -110,7 +146,23 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 	if len(spec.Sources) == 0 {
 		return nil, fmt.Errorf("escope: %q: no sources", spec.Name)
 	}
-	s := &Scope{name: spec.Name, coverPaths: make(map[string][]*guard)}
+	s := &Scope{
+		name:       spec.Name,
+		conns:      make(map[*vnet.Conn]struct{}),
+		coverPaths: make(map[string][]*guard),
+		met:        spec.Metrics,
+	}
+	if s.met != nil {
+		s.pullOp = s.met.Op(metrics.KindScopePull, spec.Name)
+	}
+
+	// Per-scope health-transition counters, shared by every guard (all
+	// nil-safe when metrics are off).
+	healthFaults := s.met.Counter(spec.Name + "/health.faults")
+	healthDeaths := s.met.Counter(spec.Name + "/health.deaths")
+	healthRecoveries := s.met.Counter(spec.Name + "/health.recoveries")
+	stubRetries := s.met.Counter(spec.Name + "/stub.retries")
+	stubRedials := s.met.Counter(spec.Name + "/stub.redials")
 
 	// stubTo wires a stub from -> to over a fresh connection, applying
 	// the spec's retry policy (with a reconnect path) and health guard.
@@ -122,15 +174,27 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 		s.addConn(conn)
 		name := fmt.Sprintf("%s/stub(%s)", spec.Name, label)
 		stub := paths.NewRemote(name, from, conn, target)
+		if s.met != nil {
+			stub.SetMetrics(&paths.RemoteMetrics{
+				Op:      s.met.Op(metrics.KindStub, name),
+				Retries: stubRetries,
+				Redials: stubRedials,
+			})
+		}
 		if spec.Retry != nil {
 			pol := *spec.Retry
 			if pol.JitterSeed == 0 {
 				pol.JitterSeed = hashName(name)
 			}
 			stub.SetRetry(&pol)
-			stub.SetRedial(func() (vnet.Caller, uint32, error) {
+			stub.SetRedial(func(stale vnet.Caller) (vnet.Caller, uint32, error) {
 				nc := net.Dial(from, to, svc.Handler())
-				s.addConn(nc)
+				if !s.addConn(nc) {
+					return nil, 0, fmt.Errorf("escope: %s: scope closed", spec.Name)
+				}
+				if oc, ok := stale.(*vnet.Conn); ok {
+					s.dropConn(oc)
+				}
 				return nc, target, nil
 			})
 		}
@@ -138,6 +202,7 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 			return stub, nil
 		}
 		g := newGuard(name+"!guard", to.Name(), from, stub, spec.Health)
+		g.mFaults, g.mDeaths, g.mRecoveries = healthFaults, healthDeaths, healthRecoveries
 		s.guards = append(s.guards, g)
 		return g, g
 	}
@@ -164,6 +229,9 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 			rd := paths.NewBatchReader(
 				fmt.Sprintf("%s/rd%d(%s)", spec.Name, i, src.Elem.Name()),
 				src.Host, src.Elem, src.RecSize, src.BatchCap)
+			if s.met != nil {
+				rd.SetMetrics(s.met.Op(metrics.KindReader, rd.Name()))
+			}
 			s.readers = append(s.readers, rd)
 			chain = rd
 			if src.Transform != nil {
@@ -205,15 +273,24 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 		cg.hosts = append(cg.hosts, hc)
 	}
 
+	// instrumentGather wires a fresh gather into the self-metrics
+	// registry (no-op when metrics are off).
+	instrumentGather := func(g *paths.Gather, err error) (*paths.Gather, error) {
+		if err == nil && s.met != nil {
+			g.SetMetrics(s.met.Op(metrics.KindGather, g.Name()))
+		}
+		return g, err
+	}
+
 	// hostEntry builds the single wrapper representing one host's
 	// sources: the chain itself, or a local gather joining several.
 	hostEntry := func(hc *hostChains) (paths.Wrapper, error) {
 		if len(hc.chains) == 1 {
 			return hc.chains[0], nil
 		}
-		return paths.NewGather(
+		return instrumentGather(paths.NewGather(
 			fmt.Sprintf("%s/hostgather(%s)", spec.Name, hc.host.Name()),
-			hc.host, hc.chains, 0)
+			hc.host, hc.chains, 0))
 	}
 
 	// pathOf filters the nil guards out of a gather path.
@@ -249,9 +326,9 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 			gwGuards[hc.host] = g
 			gwChildren = append(gwChildren, child)
 		}
-		gwGather, err := paths.NewGather(
+		gwGather, err := instrumentGather(paths.NewGather(
 			fmt.Sprintf("%s/gwgather(%s)", spec.Name, cl.Name()),
-			gw, gwChildren, spec.GatewayHelpers)
+			gw, gwChildren, spec.GatewayHelpers))
 		if err != nil {
 			return nil, err
 		}
@@ -281,7 +358,7 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 		s.root = rootChildren[0]
 		return s, nil
 	}
-	root, err := paths.NewGather(spec.Name+"/root", spec.FrontEnd, rootChildren, spec.RootHelpers)
+	root, err := instrumentGather(paths.NewGather(spec.Name+"/root", spec.FrontEnd, rootChildren, spec.RootHelpers))
 	if err != nil {
 		return nil, err
 	}
@@ -302,7 +379,13 @@ func (s *Scope) Readers() []*paths.BatchReader { return s.readers }
 // concatenated records of every source.
 func (s *Scope) Pull(ctx *paths.Ctx) (paths.Reply, error) {
 	s.pulls.Add(1)
-	return s.root.Op(ctx, paths.Request{Kind: paths.OpRead})
+	if s.pullOp == nil {
+		return s.root.Op(ctx, paths.Request{Kind: paths.OpRead})
+	}
+	start := hrtime.Now()
+	rep, err := s.root.Op(ctx, paths.Request{Kind: paths.OpRead})
+	s.pullOp.Record(hrtime.Since(start), len(rep.Data), err)
+	return rep, err
 }
 
 // Pulls reports how many gathers were performed.
@@ -339,7 +422,10 @@ func (s *Scope) Coverage() Coverage {
 			if snap.State == Dead {
 				dead = true
 			}
-			if oldest < 0 || snap.LastOK < oldest {
+			// Only guards that have succeeded at least once contribute to
+			// staleness: an unproven guard's LastOK is its build time, and
+			// folding that in would pin staleness to the age of the scope.
+			if snap.Proven && (oldest < 0 || snap.LastOK < oldest) {
 				oldest = snap.LastOK
 			}
 		}
@@ -365,10 +451,18 @@ func (s *Scope) Health() []ChildHealth {
 	return out
 }
 
-// Close shuts down the scope's connections.
+// Close shuts down the scope's connections. Close is sticky: any redial
+// attempted afterwards fails and its fresh connection is closed
+// immediately, so a racing retry loop cannot leak connections past
+// shutdown.
 func (s *Scope) Close() {
 	s.connsMu.Lock()
-	conns := append([]*vnet.Conn(nil), s.conns...)
+	s.closed = true
+	conns := make([]*vnet.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.conns = make(map[*vnet.Conn]struct{})
 	s.connsMu.Unlock()
 	for _, c := range conns {
 		c.Close()
@@ -378,21 +472,37 @@ func (s *Scope) Close() {
 // Puller is a gather thread: it pulls the scope in a loop and hands every
 // reply to a sink. Monitors use pullers as their front-end gather threads.
 type Puller struct {
-	stop chan struct{}
-	done chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
 
-	pulls  atomic.Uint64
-	errcnt atomic.Uint64
+	pulls    atomic.Uint64
+	errcnt   atomic.Uint64
+	backoffs atomic.Uint64
 }
+
+// Error backoff for the pull loop: a pull that fails outright (root
+// gather error, not a guarded partial) doubles the wait before the next
+// attempt, so a scope whose tree is persistently broken does not spin
+// the gather thread at full speed. The first success resets it.
+const (
+	pullerBackoffBase = 100 * time.Microsecond
+	pullerBackoffMax  = 10 * time.Millisecond
+)
 
 // StartPuller launches a gather thread pulling every interval (modelled
 // time; 0 pulls continuously). The sink receives every non-empty reply;
-// a nil sink discards data (pure drain).
+// a nil sink discards data (pure drain). Consecutive pull errors back
+// off exponentially (modelled time, capped) instead of hot-looping.
 func (s *Scope) StartPuller(interval time.Duration, sink func(paths.Reply) error) *Puller {
 	p := &Puller{stop: make(chan struct{}), done: make(chan struct{})}
 	ctx := &paths.Ctx{Thread: s.name + "/gather"}
+	cPulls := s.met.Counter(s.name + "/puller.pulls")
+	cErrs := s.met.Counter(s.name + "/puller.errors")
+	cBackoffs := s.met.Counter(s.name + "/puller.backoffs")
 	vclock.Go(func() {
 		defer close(p.done)
+		var backoff time.Duration
 		for {
 			select {
 			case <-p.stop:
@@ -402,33 +512,50 @@ func (s *Scope) StartPuller(interval time.Duration, sink func(paths.Reply) error
 			rep, err := s.Pull(ctx)
 			if err != nil {
 				p.errcnt.Add(1)
+				cErrs.Inc()
+				if backoff == 0 {
+					backoff = pullerBackoffBase
+				} else if backoff < pullerBackoffMax {
+					backoff *= 2
+					if backoff > pullerBackoffMax {
+						backoff = pullerBackoffMax
+					}
+				}
 			} else {
+				backoff = 0
 				p.pulls.Add(1)
+				cPulls.Inc()
 				if sink != nil && len(rep.Data) > 0 {
 					if err := sink(rep); err != nil {
 						p.errcnt.Add(1)
+						cErrs.Inc()
 					}
 				}
 			}
-			if interval > 0 {
-				hrtime.Sleep(interval)
+			wait := interval
+			if backoff > wait {
+				wait = backoff
+				p.backoffs.Add(1)
+				cBackoffs.Inc()
+			}
+			if wait > 0 {
+				hrtime.Sleep(wait)
 			}
 		}
 	})
 	return p
 }
 
-// Stop halts the gather thread and waits for it to exit.
+// Stop halts the gather thread and waits for it to exit. It is safe to
+// call concurrently and repeatedly.
 func (p *Puller) Stop() {
-	select {
-	case <-p.stop:
-	default:
-		close(p.stop)
-	}
+	p.stopOnce.Do(func() { close(p.stop) })
 	<-p.done
 }
 
 // Pulls reports successful pulls; Errors reports failed pulls or sink
-// errors.
-func (p *Puller) Pulls() uint64  { return p.pulls.Load() }
-func (p *Puller) Errors() uint64 { return p.errcnt.Load() }
+// errors; Backoffs reports loop iterations that waited on the error
+// backoff instead of the configured interval.
+func (p *Puller) Pulls() uint64    { return p.pulls.Load() }
+func (p *Puller) Errors() uint64   { return p.errcnt.Load() }
+func (p *Puller) Backoffs() uint64 { return p.backoffs.Load() }

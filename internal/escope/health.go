@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"eventspace/internal/hrtime"
+	"eventspace/internal/metrics"
 	"eventspace/internal/paths"
 	"eventspace/internal/vnet"
 )
@@ -87,6 +88,7 @@ type ChildHealth struct {
 	State      ChildState
 	Fails      int          // consecutive transport faults
 	LastOK     hrtime.Stamp // last successful operation
+	Proven     bool         // at least one operation ever succeeded
 	Skips      uint64       // operations skipped while dead
 	Faults     uint64       // total transport faults absorbed
 	Recoveries uint64       // dead -> alive transitions
@@ -109,10 +111,16 @@ type guard struct {
 	probeWait time.Duration
 	nextProbe hrtime.Stamp
 	lastOK    hrtime.Stamp
+	proven    bool // true once the child has succeeded at least once
 
 	skips      atomic.Uint64
 	faults     atomic.Uint64
 	recoveries atomic.Uint64
+
+	// Optional per-scope self-metrics counters (nil-safe).
+	mFaults     *metrics.Counter
+	mDeaths     *metrics.Counter
+	mRecoveries *metrics.Counter
 }
 
 func newGuard(name, target string, host *vnet.Host, child paths.Wrapper, policy *HealthPolicy) *guard {
@@ -160,17 +168,23 @@ func (g *guard) noteSuccess() {
 	g.fails = 0
 	g.probeWait = 0
 	g.lastOK = hrtime.Now()
+	g.proven = true
 	g.mu.Unlock()
 	if recovered {
 		g.recoveries.Add(1)
+		g.mRecoveries.Inc()
 	}
 }
 
 func (g *guard) noteFault() {
 	g.faults.Add(1)
+	g.mFaults.Inc()
 	g.mu.Lock()
 	g.fails++
 	if g.fails >= g.policy.deadAfter() {
+		if g.state != Dead {
+			g.mDeaths.Inc()
+		}
 		g.state = Dead
 		wait := g.probeWaitLocked()
 		g.nextProbe = hrtime.Now() + hrtime.Stamp(wait)
@@ -220,6 +234,7 @@ func (g *guard) snapshot() ChildHealth {
 		State:  g.state,
 		Fails:  g.fails,
 		LastOK: g.lastOK,
+		Proven: g.proven,
 	}
 	g.mu.Unlock()
 	h.Skips = g.skips.Load()

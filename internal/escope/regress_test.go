@@ -1,0 +1,174 @@
+package escope
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"eventspace/internal/hrtime"
+	"eventspace/internal/pastset"
+	"eventspace/internal/paths"
+	"eventspace/internal/vnet"
+)
+
+// TestPullerStopConcurrent is the regression test for the Stop double-close
+// race: two goroutines that both saw the stop channel open could both
+// close it. Run with -race.
+func TestPullerStopConcurrent(t *testing.T) {
+	r := newRig(t)
+	h := r.c1.Hosts()[0]
+	e := pastset.MustNewElement("t", 8)
+	scope, err := Build(r.net, Spec{
+		Name:     "stoprace",
+		FrontEnd: r.fe,
+		Sources:  []Source{{Host: h, Elem: e, RecSize: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scope.Close()
+	p := scope.StartPuller(time.Millisecond, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Stop()
+		}()
+	}
+	wg.Wait()
+	p.Stop() // still idempotent after the concurrent stops
+}
+
+// killConns closes every connection the scope tracks without untracking
+// them, simulating the transport dying under the stubs.
+func killConns(s *Scope) {
+	s.connsMu.Lock()
+	conns := make([]*vnet.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.connsMu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// TestRedialPrunesReplacedConns is the regression test for the connection
+// bookkeeping leak: every redial added a fresh connection to the scope's
+// tracking without removing the stale one, so a flaky link grew the set
+// without bound. It also covers sticky Close: a redial racing with Close
+// must not leak a connection past shutdown.
+func TestRedialPrunesReplacedConns(t *testing.T) {
+	r := newRig(t)
+	h := r.c1.Hosts()[0]
+	e := pastset.MustNewElement("t", 64)
+	fill(t, e, []byte{1})
+	scope, err := Build(r.net, Spec{
+		Name:     "redial",
+		FrontEnd: r.fe,
+		Sources:  []Source{{Host: h, Elem: e, RecSize: 1}},
+		Retry:    &paths.RetryPolicy{MaxAttempts: 3, BaseBackoff: 10 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := scope.trackedConns()
+	if base == 0 {
+		t.Fatal("no connections tracked after build")
+	}
+	for i := 0; i < 5; i++ {
+		killConns(scope)
+		if _, err := scope.Pull(nil); err != nil {
+			t.Fatalf("pull %d after conn kill: %v", i, err)
+		}
+	}
+	if got := scope.trackedConns(); got != base {
+		t.Fatalf("tracked conns = %d after 5 redial rounds, want %d (leak)", got, base)
+	}
+
+	// Sticky Close: a redial after Close must fail and leave nothing
+	// tracked.
+	scope.Close()
+	if _, err := scope.Pull(nil); err == nil {
+		t.Fatal("pull succeeded after Close")
+	}
+	if got := scope.trackedConns(); got != 0 {
+		t.Fatalf("tracked conns = %d after Close, want 0", got)
+	}
+}
+
+// TestPullerErrorBackoff is the regression test for the pull-error hot
+// loop: with interval 0 and a persistently failing scope, the gather
+// thread spun at full speed. It must now back off (bounded error rate)
+// and count the backoffs. Runs at real-time scale: newRig's 0.005 scale
+// would shrink the backoff sleeps below the clock's resolution.
+func TestPullerErrorBackoff(t *testing.T) {
+	n := vnet.NewNetwork(vnet.FastEthernet, vnet.DefaultCostModel())
+	c, err := n.AddCluster("a", "s1", 2, 2, vnet.GigabitEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := n.AddStandaloneHost("fe", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := pastset.MustNewElement("t", 8)
+	scope, err := Build(n, Spec{
+		Name:     "hot",
+		FrontEnd: fe,
+		Sources:  []Source{{Host: c.Hosts()[0], Elem: e, RecSize: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope.Close() // every pull fails from the start
+	p := scope.StartPuller(0, nil)
+	defer p.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Errors() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatal("puller produced fewer than 5 errors")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// By the fifth consecutive error the backoff is well above zero: a
+	// 100ms window must see far fewer iterations than a hot loop's
+	// hundreds of thousands.
+	before := p.Errors()
+	time.Sleep(100 * time.Millisecond)
+	window := p.Errors() - before
+	if window > 1000 {
+		t.Fatalf("%d errors in 100ms: puller is hot-looping", window)
+	}
+	if p.Backoffs() == 0 {
+		t.Fatal("no backoffs counted")
+	}
+}
+
+// TestCoverageStalenessUnprovenGuard is the regression test for coverage
+// staleness: a guard that never succeeded reports its build time as
+// LastOK, which pinned Staleness to the age of the scope (the whole run
+// under the virtual clock, where build time is 0).
+func TestCoverageStalenessUnprovenGuard(t *testing.T) {
+	time.Sleep(5 * time.Millisecond) // ensure the clock is well past 0
+	pol := &HealthPolicy{}
+	proven := newGuard("g-ok", "h1", nil, nil, pol)
+	unproven := newGuard("g-never", "h2", nil, nil, pol)
+	proven.noteSuccess()
+	okAt := proven.lastOK
+	unproven.lastOK = 0 // built at the virtual epoch, never succeeded
+	s := &Scope{coverPaths: map[string][]*guard{
+		"h1": {proven},
+		"h2": {unproven},
+	}}
+	time.Sleep(2 * time.Millisecond)
+	cov := s.Coverage()
+	if cov.Staleness <= 0 {
+		t.Fatal("proven guard contributed no staleness")
+	}
+	if max := time.Duration(hrtime.Now() - okAt); cov.Staleness > max {
+		t.Fatalf("Staleness = %v > %v: unproven guard's epoch LastOK counted", cov.Staleness, max)
+	}
+}

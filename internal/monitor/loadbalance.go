@@ -163,6 +163,7 @@ func NewLoadBalance(tb *cluster.Testbed, tree *cluster.Tree, mode LoadBalanceMod
 	spec.RootHelpers = cfg.RootHelpers
 	spec.Health = cfg.Health
 	spec.Retry = cfg.Retry
+	spec.Metrics = cfg.Metrics
 
 	switch mode {
 	case SingleScope:

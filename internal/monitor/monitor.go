@@ -12,6 +12,7 @@ import (
 	"eventspace/internal/analysis"
 	"eventspace/internal/cosched"
 	"eventspace/internal/escope"
+	"eventspace/internal/metrics"
 	"eventspace/internal/paths"
 )
 
@@ -60,6 +61,9 @@ type Config struct {
 	// event scopes (transient faults are retried with backoff and a
 	// reconnect path before the health guard counts them).
 	Retry *paths.RetryPolicy
+	// Metrics, when set, wires the monitor's event scopes and stubs into
+	// the self-metrics registry ("monitor the monitor"). nil disables.
+	Metrics *metrics.Registry
 }
 
 // TCPStatsPlacement selects the host that computes a connection's

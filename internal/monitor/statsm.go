@@ -12,6 +12,7 @@ import (
 	"eventspace/internal/cosched"
 	"eventspace/internal/escope"
 	"eventspace/internal/hrtime"
+	"eventspace/internal/metrics"
 	"eventspace/internal/pastset"
 	"eventspace/internal/paths"
 	"eventspace/internal/vclock"
@@ -204,6 +205,13 @@ func NewStatsm(tb *cluster.Testbed, tree *cluster.Tree, cfg Config, cs *cosched.
 				pol := *cfg.Retry
 				stub.SetRetry(&pol)
 			}
+			if cfg.Metrics != nil {
+				stub.SetMetrics(&paths.RemoteMetrics{
+					Op:      cfg.Metrics.Op(metrics.KindStub, stub.Name()),
+					Retries: cfg.Metrics.Counter("statsm/stub.retries"),
+					Redials: cfg.Metrics.Counter("statsm/stub.redials"),
+				})
+			}
 			sh.links = append(sh.links, &statsLink{
 				link:          lk,
 				localCur:      localEC.Buffer().NewCursor(),
@@ -229,6 +237,7 @@ func NewStatsm(tb *cluster.Testbed, tree *cluster.Tree, cfg Config, cs *cosched.
 		Sources:        statsSources(order, byHost, false, cfg.readBatch()),
 		Health:         cfg.Health,
 		Retry:          cfg.Retry,
+		Metrics:        cfg.Metrics,
 	})
 	if werr != nil {
 		return nil, werr
@@ -241,6 +250,7 @@ func NewStatsm(tb *cluster.Testbed, tree *cluster.Tree, cfg Config, cs *cosched.
 		Sources:        statsSources(order, byHost, true, cfg.readBatch()),
 		Health:         cfg.Health,
 		Retry:          cfg.Retry,
+		Metrics:        cfg.Metrics,
 	})
 	if werr != nil {
 		return nil, werr

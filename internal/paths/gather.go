@@ -2,7 +2,10 @@ package paths
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"eventspace/internal/hrtime"
+	"eventspace/internal/metrics"
 	"eventspace/internal/pastset"
 	"eventspace/internal/vclock"
 	"eventspace/internal/vnet"
@@ -21,6 +24,7 @@ type Gather struct {
 	base
 	children []Wrapper
 	helpers  int
+	met      atomic.Pointer[metrics.Op]
 }
 
 // NewGather creates a gather wrapper over the given children.
@@ -40,9 +44,26 @@ func (g *Gather) Helpers() int { return g.helpers }
 // Children returns the child wrappers.
 func (g *Gather) Children() []Wrapper { return g.children }
 
+// SetMetrics installs the gather's self-metrics site. nil disables.
+func (g *Gather) SetMetrics(op *metrics.Op) *Gather {
+	g.met.Store(op)
+	return g
+}
+
 // Op forwards the read to every child and concatenates the replies in
 // child order. Ret accumulates the children's record counts.
 func (g *Gather) Op(ctx *Ctx, req Request) (Reply, error) {
+	m := g.met.Load()
+	if m == nil {
+		return g.gather(ctx, req)
+	}
+	start := hrtime.Now()
+	rep, err := g.gather(ctx, req)
+	m.Record(hrtime.Since(start), len(rep.Data), err)
+	return rep, err
+}
+
+func (g *Gather) gather(ctx *Ctx, req Request) (Reply, error) {
 	if req.Kind != OpRead {
 		return Reply{}, fmt.Errorf("paths: %s: unsupported op %v", g.name, req.Kind)
 	}

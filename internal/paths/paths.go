@@ -21,7 +21,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
+	"eventspace/internal/hrtime"
+	"eventspace/internal/metrics"
 	"eventspace/internal/pastset"
 	"eventspace/internal/vnet"
 )
@@ -175,6 +178,7 @@ type BatchReader struct {
 	cursor  *pastset.Cursor
 	recSize int
 	max     int // maximum records per read; 0 = unlimited
+	met     atomic.Pointer[metrics.Op]
 }
 
 // NewBatchReader creates a draining reader over elem. recSize is the fixed
@@ -191,10 +195,27 @@ func NewBatchReader(name string, host *vnet.Host, elem *pastset.Element, recSize
 // Cursor exposes the reader's cursor for gather-rate accounting.
 func (r *BatchReader) Cursor() *pastset.Cursor { return r.cursor }
 
+// SetMetrics installs the reader's self-metrics site. nil disables.
+func (r *BatchReader) SetMetrics(op *metrics.Op) *BatchReader {
+	r.met.Store(op)
+	return r
+}
+
 // Op drains unread tuples (up to the batch cap) and returns them
 // concatenated. Ret holds the record count. Reads never block: an empty
 // batch is a valid reply.
 func (r *BatchReader) Op(ctx *Ctx, req Request) (Reply, error) {
+	m := r.met.Load()
+	if m == nil {
+		return r.drain(ctx, req)
+	}
+	start := hrtime.Now()
+	rep, err := r.drain(ctx, req)
+	m.Record(hrtime.Since(start), len(rep.Data), err)
+	return rep, err
+}
+
+func (r *BatchReader) drain(ctx *Ctx, req Request) (Reply, error) {
 	if req.Kind != OpRead {
 		return Reply{}, fmt.Errorf("paths: %s: unsupported op %v", r.name, req.Kind)
 	}

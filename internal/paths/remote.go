@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"eventspace/internal/hrtime"
+	"eventspace/internal/metrics"
 	"eventspace/internal/vnet"
 )
 
@@ -85,10 +86,22 @@ type Remote struct {
 	target uint32
 
 	retry  *RetryPolicy
-	redial func() (vnet.Caller, uint32, error)
+	redial func(stale vnet.Caller) (vnet.Caller, uint32, error)
 
 	retries   atomic.Uint64
 	reconnect atomic.Uint64
+
+	met atomic.Pointer[RemoteMetrics]
+}
+
+// RemoteMetrics is a stub's optional self-metrics wiring: Op records
+// each call's latency and reply bytes (retries included in the span);
+// Retries and Redials count the fault machinery's activations. Any
+// field may be nil.
+type RemoteMetrics struct {
+	Op      *metrics.Op
+	Retries *metrics.Counter
+	Redials *metrics.Counter
 }
 
 // NewRemote creates a stub on host that invokes target over caller.
@@ -104,13 +117,20 @@ func (r *Remote) SetRetry(p *RetryPolicy) *Remote {
 	return r
 }
 
-// SetRedial installs the reconnect path: called when the stub's
-// connection is dead, it returns a fresh caller and target id. The old
-// caller is closed before the new one is installed.
-func (r *Remote) SetRedial(f func() (vnet.Caller, uint32, error)) *Remote {
+// SetRedial installs the reconnect path: called with the stale caller
+// when the stub's connection is dead, it returns a fresh caller and
+// target id. The stale caller is closed after the new one is installed,
+// so owners tracking connections can drop the stale one inside f.
+func (r *Remote) SetRedial(f func(stale vnet.Caller) (vnet.Caller, uint32, error)) *Remote {
 	r.mu.Lock()
 	r.redial = f
 	r.mu.Unlock()
+	return r
+}
+
+// SetMetrics installs the stub's self-metrics sites. nil disables.
+func (r *Remote) SetMetrics(m *RemoteMetrics) *Remote {
+	r.met.Store(m)
 	return r
 }
 
@@ -136,7 +156,7 @@ func (r *Remote) tryReconnect(stale vnet.Caller) bool {
 		return redial != nil
 	}
 	r.mu.Unlock()
-	caller, target, err := redial()
+	caller, target, err := redial(stale)
 	if err != nil {
 		return false
 	}
@@ -146,12 +166,26 @@ func (r *Remote) tryReconnect(stale vnet.Caller) bool {
 	r.mu.Unlock()
 	old.Close()
 	r.reconnect.Add(1)
+	if m := r.met.Load(); m != nil {
+		m.Redials.Inc()
+	}
 	return true
 }
 
 // Op encodes the request, performs the remote call, and decodes the
 // reply, retrying transport faults per the installed policy.
 func (r *Remote) Op(ctx *Ctx, req Request) (Reply, error) {
+	m := r.met.Load()
+	if m == nil || m.Op == nil {
+		return r.call(ctx, req)
+	}
+	start := hrtime.Now()
+	rep, err := r.call(ctx, req)
+	m.Op.Record(hrtime.Since(start), len(rep.Data), err)
+	return rep, err
+}
+
+func (r *Remote) call(ctx *Ctx, req Request) (Reply, error) {
 	start := hrtime.Now()
 	for attempt := 1; ; attempt++ {
 		caller, target, policy := r.transport()
@@ -168,6 +202,9 @@ func (r *Remote) Op(ctx *Ctx, req Request) (Reply, error) {
 		}
 		hrtime.Sleep(policy.Backoff(attempt))
 		r.retries.Add(1)
+		if m := r.met.Load(); m != nil {
+			m.Retries.Inc()
+		}
 		if ConnDead(err) {
 			r.tryReconnect(caller)
 		}

@@ -145,7 +145,10 @@ func TestRemoteRedialsDeadConn(t *testing.T) {
 	conn.Close() // the stub starts with a dead connection
 	r := NewRemote("stub", client, conn, target).
 		SetRetry(&RetryPolicy{MaxAttempts: 3, BaseBackoff: 10 * time.Microsecond}).
-		SetRedial(func() (vnet.Caller, uint32, error) {
+		SetRedial(func(stale vnet.Caller) (vnet.Caller, uint32, error) {
+			if stale != vnet.Caller(conn) {
+				t.Errorf("redial got stale caller %v, want the original conn", stale)
+			}
 			return n.Dial(client, server, svc.Handler()), target, nil
 		})
 	rep, err := r.Op(&Ctx{}, Request{Kind: OpWrite, Value: 5})
@@ -156,6 +159,62 @@ func TestRemoteRedialsDeadConn(t *testing.T) {
 		t.Fatalf("Reconnects = %d, want 1", r.Reconnects())
 	}
 	r.Close()
+}
+
+// deadCaller always fails with a dead-connection fault.
+type deadCaller struct{ calls int }
+
+func (d *deadCaller) Call(payload []byte) ([]byte, error) {
+	d.calls++
+	return nil, vnet.ErrConnClosed
+}
+
+func (d *deadCaller) Close() error { return nil }
+
+// TestRedialRespectsDeadline is the regression test for the
+// retry/redial interaction: a redial that hands back a caller which
+// immediately faults again must still respect RetryPolicy.Deadline —
+// the reconnect path must not reset the attempt budget — and the
+// Retries/Reconnects counters must stay coherent (one reconnect per
+// dead-connection retry, never more retries than backoffs slept).
+func TestRedialRespectsDeadline(t *testing.T) {
+	_, c1, _ := testNet(t)
+	h := c1.Hosts()[0]
+	var redials int
+	r := NewRemote("stub", h, &deadCaller{}, 1).
+		SetRetry(&RetryPolicy{
+			MaxAttempts: 1000, // deadline, not attempts, must stop the loop
+			BaseBackoff: 200 * time.Microsecond,
+			MaxBackoff:  time.Millisecond,
+			Deadline:    3 * time.Millisecond,
+		}).
+		SetRedial(func(stale vnet.Caller) (vnet.Caller, uint32, error) {
+			redials++
+			return &deadCaller{}, 1, nil
+		})
+	start := time.Now()
+	_, err := r.Op(&Ctx{}, Request{Kind: OpRead})
+	elapsed := time.Since(start)
+	if !errors.Is(err, vnet.ErrConnClosed) {
+		t.Fatalf("err = %v, want ErrConnClosed", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("deadline ignored: Op ran %v", elapsed)
+	}
+	if r.Retries() == 0 {
+		t.Fatal("no retries before the deadline")
+	}
+	if r.Retries() >= 999 {
+		t.Fatalf("retries = %d: the deadline did not bound the loop", r.Retries())
+	}
+	if got, want := r.Reconnects(), uint64(redials); got != want {
+		t.Fatalf("Reconnects = %d, redial func ran %d times", got, want)
+	}
+	// Every retry of a dead connection redials: the counters move in
+	// lockstep.
+	if r.Reconnects() != r.Retries() {
+		t.Fatalf("Reconnects = %d, Retries = %d: counters incoherent", r.Reconnects(), r.Retries())
+	}
 }
 
 func TestServiceHandlerEncodesAppErrors(t *testing.T) {
