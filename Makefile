@@ -1,0 +1,31 @@
+# EventSpace development entry points. Everything is standard-library
+# Go; the only external tools are the optional CI linters installed on
+# demand (staticcheck, govulncheck).
+
+GO ?= go
+
+.PHONY: build test test-short bench lint vet eslint ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+vet:
+	$(GO) vet ./...
+
+# eslint is the project-specific invariant suite (DESIGN.md §8).
+eslint:
+	$(GO) run ./cmd/eslint ./...
+
+lint: vet eslint
+
+# ci mirrors the GitHub Actions job, minus the tool installs.
+ci: build lint test-short

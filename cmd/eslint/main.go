@@ -1,0 +1,113 @@
+// Command eslint runs EventSpace's project-specific static-analysis
+// suite (internal/lint): the invariants the monitoring stack's
+// low-overhead claim rests on, enforced at compile time. It is a
+// multichecker in the x/tools mold, built on the standard library
+// only, and runs in CI alongside go vet and staticcheck:
+//
+//	go run ./cmd/eslint ./...        # whole module (the usual form)
+//	go run ./cmd/eslint -list        # describe the analyzers
+//	go run ./cmd/eslint -run wallclock,closeonce ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"eventspace/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: eslint [-list] [-run names] [./...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Suite()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "eslint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	// The only supported patterns are the whole module (./... or no
+	// argument) — the suite is cheap enough to always run whole.
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "..." {
+			fmt.Fprintf(os.Stderr, "eslint: unsupported pattern %q; the suite runs whole-module (./...)\n", arg)
+			return 2
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eslint:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eslint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eslint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eslint:", err)
+		return 2
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eslint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			findings++
+			pos := d.Pos
+			if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+				pos.Filename = rel
+			}
+			fmt.Printf("%s:%d:%d: %s (%s)\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "eslint: %d finding(s) across %d package(s)\n", findings, len(pkgs))
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "eslint: clean — %d package(s), %d analyzer(s)\n", len(pkgs), len(analyzers))
+	return 0
+}

@@ -501,6 +501,7 @@ func (s *Scope) StartPuller(interval time.Duration, sink func(paths.Reply) error
 	cErrs := s.met.Counter(s.name + "/puller.errors")
 	cBackoffs := s.met.Counter(s.name + "/puller.backoffs")
 	vclock.Go(func() {
+		//lint:allow closeonce this run loop is the done channel's sole closer; Stop closes only p.stop (via stopOnce)
 		defer close(p.done)
 		var backoff time.Duration
 		for {

@@ -1,5 +1,7 @@
 package escope
 
+//lint:file-allow wallclock tests poll real goroutine progress against wall-clock deadlines
+
 import (
 	"sync"
 	"testing"

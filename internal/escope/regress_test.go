@@ -1,5 +1,7 @@
 package escope
 
+//lint:file-allow wallclock regression tests wait on real goroutines with wall-clock deadlines
+
 import (
 	"sync"
 	"testing"

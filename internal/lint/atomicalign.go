@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// align32 computes struct layouts as a 32-bit target (GOARCH=386)
+// would: 4-byte words, 4-byte max alignment. Under these rules a
+// uint64 field lands wherever the preceding fields leave it, which is
+// the whole hazard.
+var align32 = types.SizesFor("gc", "386")
+
+// AtomicAlign flags 64-bit sync/atomic function calls on struct fields
+// that are not 8-byte aligned under 32-bit layout rules. The Go
+// runtime only guarantees 64-bit alignment for the first word of an
+// allocation; an unaligned atomic access panics on 386/arm. The
+// lock-free metrics registry must stay portable, so either keep 64-bit
+// fields first (offset % 8 == 0) or use atomic.Uint64/atomic.Int64,
+// whose embedded align64 marker makes the compiler do it.
+var AtomicAlign = &Analyzer{
+	Name: "atomicalign",
+	Doc: "flag 64-bit sync/atomic calls on struct fields not 8-byte aligned in 32-bit layout; " +
+		"unaligned 64-bit atomics panic on 386/arm — reorder the field or use atomic.Uint64",
+	Run: runAtomicAlign,
+}
+
+// atomic64Funcs are the sync/atomic package functions whose first
+// argument must point at 8-byte-aligned memory.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+func runAtomicAlign(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		walkStack(f, func(n ast.Node, _ []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return
+			}
+			fun, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !atomic64Funcs[fun.Sel.Name] {
+				return
+			}
+			pkgIdent, ok := fun.X.(*ast.Ident)
+			if !ok {
+				return
+			}
+			pn, ok := info.Uses[pkgIdent].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "sync/atomic" {
+				return
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || addr.Op.String() != "&" {
+				return
+			}
+			sel, ok := addr.X.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			selection, ok := info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return
+			}
+			off, ok := fieldOffset32(selection)
+			if !ok || off%8 == 0 {
+				return
+			}
+			typ := "Uint64"
+			if strings.HasSuffix(fun.Sel.Name, "Int64") && !strings.HasSuffix(fun.Sel.Name, "Uint64") {
+				typ = "Int64"
+			}
+			pass.Reportf(call.Pos(),
+				"atomic.%s(&%s): field is at offset %d under 32-bit layout, not 8-byte aligned; "+
+					"move 64-bit atomic fields to the front of the struct or use atomic.%s",
+				fun.Sel.Name, types.ExprString(sel), off, typ)
+		})
+	}
+	return nil
+}
+
+// fieldOffset32 computes the selected field's byte offset within its
+// immediate struct under 32-bit layout rules.
+func fieldOffset32(selection *types.Selection) (int64, bool) {
+	recv := selection.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	st, ok := recv.Underlying().(*types.Struct)
+	if !ok {
+		return 0, false
+	}
+	target, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return 0, false
+	}
+	fields := make([]*types.Var, st.NumFields())
+	idx := -1
+	for i := 0; i < st.NumFields(); i++ {
+		fields[i] = st.Field(i)
+		if fields[i] == target {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0, false
+	}
+	offsets := align32.Offsetsof(fields)
+	return offsets[idx], true
+}

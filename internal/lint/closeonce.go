@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CloseOnce flags a bare close() of a struct's stop/done channel field
+// outside a sync.Once.Do. Stop methods are the textbook double-close
+// panic: two goroutines race into Stop, both see stopped == false, both
+// close. PR 2's Puller.Stop fix (escope.go) is the accepted shape:
+//
+//	p.stopOnce.Do(func() { close(p.stop) })
+//
+// A close that is provably single-owner (for example the run loop's
+// deferred close of its own done channel) takes a //lint:allow
+// closeonce annotation with the ownership argument as the reason.
+var CloseOnce = &Analyzer{
+	Name: "closeonce",
+	Doc: "flag close() of a stop/done channel field outside sync.Once.Do; " +
+		"concurrent Stop calls double-close and panic (the Puller.Stop bug class)",
+	Run: runCloseOnce,
+}
+
+// stopLikeField reports whether a field name marks a lifecycle channel.
+func stopLikeField(name string) bool {
+	n := strings.ToLower(name)
+	for _, w := range []string{"stop", "done", "quit", "closing"} {
+		if strings.Contains(n, w) {
+			return true
+		}
+	}
+	return false
+}
+
+func runCloseOnce(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return
+			}
+			fun, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return
+			}
+			if b, ok := info.Uses[fun].(*types.Builtin); !ok || b.Name() != "close" {
+				return
+			}
+			sel, ok := call.Args[0].(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			selection, ok := info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return
+			}
+			if !stopLikeField(sel.Sel.Name) {
+				return
+			}
+			if _, isChan := selection.Type().Underlying().(*types.Chan); !isChan {
+				return
+			}
+			if insideOnceDo(info, stack) {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"close(%s) of a stop channel outside sync.Once.Do; concurrent Stops double-close and panic — use stopOnce.Do(func() { close(...) })",
+				types.ExprString(sel))
+		})
+	}
+	return nil
+}
+
+// insideOnceDo reports whether the innermost enclosing function literal
+// is an argument to (sync.Once).Do.
+func insideOnceDo(info *types.Info, stack []ast.Node) bool {
+	// Find the innermost FuncLit above the close call.
+	for i := len(stack) - 1; i >= 0; i-- {
+		lit, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		if i == 0 {
+			return false
+		}
+		call, ok := stack[i-1].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Do" {
+			return false
+		}
+		recv := info.Types[sel.X].Type
+		if recv == nil {
+			return false
+		}
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || obj.Pkg().Path() != "sync" || obj.Name() != "Once" {
+			return false
+		}
+		// The close must be inside the literal actually passed to Do.
+		for _, arg := range call.Args {
+			if arg == ast.Node(lit) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,227 @@
+// Package lint is EventSpace's project-specific static-analysis suite.
+// The monitoring stack's low-overhead claim rests on invariants the Go
+// compiler cannot see: instrumented code must read modelled time
+// (hrtime/vclock), never wall time, so RunVirtual traces stay exact;
+// the self-metrics write path must stay nil-safe so the disabled
+// configuration costs one nil check; stop channels must close exactly
+// once (the Puller.Stop bug class); 64-bit atomics must stay 8-byte
+// aligned for 32-bit targets; and nothing may block on a channel or a
+// PastSet read while holding a mutex. Each invariant is an Analyzer
+// here, run by cmd/eslint in CI alongside vet and staticcheck.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) but is built on the standard library
+// only — go/parser, go/types and the source importer — so the suite
+// needs no dependencies outside the toolchain.
+//
+// Findings are suppressed per line with an annotation carrying a
+// mandatory reason:
+//
+//	//lint:allow wallclock tests poll a real goroutine
+//
+// on the flagged line or the line above, or per file with
+// //lint:file-allow. An annotation without a reason is itself a
+// finding and suppresses nothing.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:allow
+	// annotations.
+	Name string
+	// Doc is a one-paragraph description: the invariant guarded and
+	// the bug class it prevents.
+	Doc string
+	// Run reports findings on the pass via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Suite is every analyzer in the order reports are printed.
+func Suite() []*Analyzer {
+	return []*Analyzer{Wallclock, CloseOnce, NilSafe, AtomicAlign, LockedSend}
+}
+
+// A Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// A Pass hands one analyzer one loaded package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos unless an allow annotation
+// suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowRe matches one annotation line. Group 1 is the scope (allow or
+// file-allow), group 2 the comma-separated analyzer names, group 3 the
+// reason.
+var allowRe = regexp.MustCompile(`^//\s*lint:(allow|file-allow)\s+([a-zA-Z0-9_,-]+)(?:[ \t]+(\S.*))?$`)
+
+// allowIndex is a package's parsed //lint:allow annotations.
+type allowIndex struct {
+	// line[file][analyzer] holds the lines carrying a valid line-scoped
+	// allow for that analyzer.
+	line map[string]map[string]map[int]bool
+	// file[file][analyzer] marks a valid file-scoped allow.
+	file map[string]map[string]bool
+	// malformed are annotations missing their mandatory reason.
+	malformed []Diagnostic
+}
+
+func buildAllowIndex(pkg *Package) *allowIndex {
+	idx := &allowIndex{
+		line: make(map[string]map[string]map[int]bool),
+		file: make(map[string]map[string]bool),
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if strings.TrimSpace(m[3]) == "" {
+					idx.malformed = append(idx.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  fmt.Sprintf("lint:%s %s needs a reason; a bare annotation suppresses nothing", m[1], m[2]),
+					})
+					continue
+				}
+				for _, name := range strings.Split(m[2], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					if m[1] == "file-allow" {
+						byAn := idx.file[pos.Filename]
+						if byAn == nil {
+							byAn = make(map[string]bool)
+							idx.file[pos.Filename] = byAn
+						}
+						byAn[name] = true
+						continue
+					}
+					byAn := idx.line[pos.Filename]
+					if byAn == nil {
+						byAn = make(map[string]map[int]bool)
+						idx.line[pos.Filename] = byAn
+					}
+					if byAn[name] == nil {
+						byAn[name] = make(map[int]bool)
+					}
+					byAn[name][pos.Line] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// suppresses reports whether d is covered by an annotation: a
+// file-allow for its analyzer, or a line allow on the same line or the
+// line above.
+func (idx *allowIndex) suppresses(d Diagnostic) bool {
+	if idx.file[d.Pos.Filename][d.Analyzer] {
+		return true
+	}
+	lines := idx.line[d.Pos.Filename][d.Analyzer]
+	return lines[d.Pos.Line] || lines[d.Pos.Line-1]
+}
+
+// RunPackage runs the analyzers over one package and returns the
+// unsuppressed findings, sorted by position. Malformed annotations
+// (missing reasons) are reported under the pseudo-analyzer "lint".
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	idx := buildAllowIndex(pkg)
+	diags := append([]Diagnostic(nil), idx.malformed...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Pkg:      pkg,
+			report: func(d Diagnostic) {
+				if !idx.suppresses(d) {
+					diags = append(diags, d)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// walkStack visits every node of f depth-first, handing fn the node and
+// the stack of its ancestors (stack[len-1] is n itself). It never
+// prunes, so analyzers see every node.
+func walkStack(f *ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		fn(n, stack)
+		return true
+	})
+}
+
+// instrumentedPkgs are the packages whose code runs on the monitoring
+// hot path and must stay on modelled time. wallclock applies here.
+var instrumentedPkgs = map[string]bool{
+	"eventspace/internal/paths":   true,
+	"eventspace/internal/collect": true,
+	"eventspace/internal/escope":  true,
+	"eventspace/internal/monitor": true,
+	"eventspace/internal/metrics": true,
+	"eventspace/internal/pastset": true,
+}
+
+// nilSafePkgs are the packages whose exported pointer-receiver methods
+// must be no-ops on nil receivers (the ≤1ns-disabled contract).
+var nilSafePkgs = map[string]bool{
+	"eventspace/internal/metrics": true,
+}

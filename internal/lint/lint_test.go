@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// One loader for the whole test binary: the source importer's std
+// cache is the expensive part, and it is shared across fixtures.
+var (
+	loaderOnce sync.Once
+	testLoader *Loader
+	loaderErr  error
+)
+
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		testLoader, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return testLoader
+}
+
+// checkFixture runs one analyzer over one fixture dir posing as asPath
+// and fails on any mismatch with the fixture's want comments.
+func checkFixture(t *testing.T, a *Analyzer, dir, asPath string) *fixtureResult {
+	t.Helper()
+	res, err := runFixture(fixtureLoader(t), a, "testdata", dir, asPath)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+	for _, e := range res.Errors {
+		t.Error(e)
+	}
+	return res
+}
+
+func TestWallclockFixture(t *testing.T) {
+	res := checkFixture(t, Wallclock, "wallclock", "eventspace/internal/collect")
+	if len(res.Diags) == 0 {
+		t.Fatal("wallclock flagged nothing in an instrumented fixture")
+	}
+}
+
+func TestWallclockScopedToInstrumentedPackages(t *testing.T) {
+	res := checkFixture(t, Wallclock, "wallclock_out", "eventspace/cmd/esbench")
+	if len(res.Diags) != 0 {
+		t.Fatalf("wallclock fired outside instrumented packages: %v", res.Diags)
+	}
+}
+
+func TestCloseOnceFixture(t *testing.T) {
+	res := checkFixture(t, CloseOnce, "closeonce", "eventspace/internal/escope")
+	// The fixture reproduces the Puller.Stop double-close: the racy
+	// Stop must be among the findings.
+	found := false
+	for _, d := range res.Diags {
+		if strings.Contains(d.Message, "close(p.stop)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("closeonce missed the Puller.Stop double-close reproduction")
+	}
+}
+
+func TestNilSafeFixture(t *testing.T) {
+	res := checkFixture(t, NilSafe, "nilsafe", "eventspace/internal/metrics")
+	if len(res.Diags) == 0 {
+		t.Fatal("nilsafe flagged nothing")
+	}
+}
+
+func TestNilSafeScopedToMetrics(t *testing.T) {
+	res, err := runFixture(fixtureLoader(t), NilSafe, "testdata", "nilsafe", "eventspace/internal/paths")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diags) != 0 {
+		t.Fatalf("nilsafe fired outside the metrics package: %v", res.Diags)
+	}
+}
+
+func TestAtomicAlignFixture(t *testing.T) {
+	res := checkFixture(t, AtomicAlign, "atomicalign", "eventspace/internal/lintfixture/atomicalign")
+	if len(res.Diags) == 0 {
+		t.Fatal("atomicalign flagged nothing")
+	}
+}
+
+func TestLockedSendFixture(t *testing.T) {
+	res := checkFixture(t, LockedSend, "lockedsend", "eventspace/internal/lintfixture/lockedsend")
+	if len(res.Diags) == 0 {
+		t.Fatal("lockedsend flagged nothing")
+	}
+}
+
+// TestAnnotationNeedsReason: a bare //lint:allow is reported under the
+// pseudo-analyzer "lint" and does not suppress the finding it sits on.
+func TestAnnotationNeedsReason(t *testing.T) {
+	loader := fixtureLoader(t)
+	pkgs, err := loader.LoadAs("testdata/src/annot", "eventspace/internal/collect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages", len(pkgs))
+	}
+	diags, err := RunPackage(pkgs[0], []*Analyzer{Wallclock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawMalformed, sawUnsuppressed bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "lint" && strings.Contains(d.Message, "needs a reason"):
+			sawMalformed = true
+		case d.Analyzer == "wallclock":
+			sawUnsuppressed = true
+		}
+	}
+	if !sawMalformed {
+		t.Error("bare lint:allow was not reported as malformed")
+	}
+	if !sawUnsuppressed {
+		t.Error("bare lint:allow suppressed the finding it sits on")
+	}
+	if len(diags) != 2 {
+		t.Errorf("want exactly 2 diagnostics (malformed + unsuppressed), got %d: %v", len(diags), diags)
+	}
+}
+
+// TestSuiteCleanOnRepo is the acceptance gate: the whole suite over
+// the whole module must report nothing. This is the same run CI does
+// via cmd/eslint.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	loader := fixtureLoader(t)
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("module load found only %d packages", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg, Suite())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

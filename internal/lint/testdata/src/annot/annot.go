@@ -1,0 +1,17 @@
+// Package annot is a lint fixture for the annotation contract: an
+// allow without a reason is itself a finding and suppresses nothing.
+// The test asserts the exact diagnostics (no want comments here — the
+// malformed-annotation finding lands on the annotation's own line,
+// where a want comment cannot sit).
+package annot
+
+import "time"
+
+func bare() {
+	//lint:allow wallclock
+	_ = time.Now()
+}
+
+func reasoned() {
+	_ = time.Now() //lint:allow wallclock a reason makes it valid
+}

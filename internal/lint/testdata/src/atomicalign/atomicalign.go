@@ -1,0 +1,59 @@
+// Package atomicalign is a lint fixture: 64-bit sync/atomic calls on
+// struct fields must hit 8-byte-aligned offsets under 32-bit layout.
+package atomicalign
+
+import "sync/atomic"
+
+// bad puts a 4-byte field first, leaving n at offset 4 on 386.
+type bad struct {
+	flag uint32
+	n    int64
+}
+
+func badAdd(b *bad) {
+	atomic.AddInt64(&b.n, 1) // want `atomic\.AddInt64\(&b\.n\): field is at offset 4 under 32-bit layout`
+}
+
+func badLoad(b *bad) int64 {
+	return atomic.LoadInt64(&b.n) // want `atomic\.LoadInt64\(&b\.n\): field is at offset 4 under 32-bit layout`
+}
+
+// good keeps 64-bit atomics first.
+type good struct {
+	n    uint64
+	m    uint64
+	flag uint32
+}
+
+func goodOps(g *good) {
+	atomic.AddUint64(&g.n, 1)
+	atomic.StoreUint64(&g.m, 7)
+}
+
+// 32-bit atomics have no 8-byte requirement.
+func word32(b *bad) {
+	atomic.AddUint32(&b.flag, 1)
+}
+
+// locals start at an allocation boundary; only struct fields are
+// checked.
+func local() {
+	var n int64
+	atomic.AddInt64(&n, 1)
+}
+
+// modern atomic types carry their own align64 guarantee, and produce
+// no sync/atomic function call to flag.
+type modern struct {
+	flag uint32
+	n    atomic.Uint64
+}
+
+func modernAdd(m *modern) {
+	m.n.Add(1)
+}
+
+// annotated acknowledges a deliberate layout.
+func annotatedAdd(b *bad) {
+	atomic.AddInt64(&b.n, 1) //lint:allow atomicalign fixture: 32-bit targets out of scope for this struct
+}

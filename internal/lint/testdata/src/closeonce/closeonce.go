@@ -1,0 +1,62 @@
+// Package closeonce is a lint fixture reproducing the Puller.Stop
+// double-close bug class (PR 2): a Stop method that bare-closes its
+// stop channel panics when two goroutines race into it.
+package closeonce
+
+import "sync"
+
+// Puller mirrors escope.Puller's lifecycle fields.
+type Puller struct {
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	events   chan int
+}
+
+// StopRacy is the PR-2 bug verbatim: a boolean guard does not stop two
+// goroutines that both observe stopped == false.
+func (p *Puller) StopRacy() {
+	close(p.stop) // want `close\(p\.stop\) of a stop channel outside sync\.Once\.Do`
+}
+
+// StopSafe is the accepted fix shape.
+func (p *Puller) StopSafe() {
+	p.stopOnce.Do(func() { close(p.stop) })
+}
+
+// run's deferred close is single-owner and carries the ownership
+// argument as an annotation.
+func (p *Puller) run() {
+	//lint:allow closeonce the run loop is the done channel's sole closer
+	defer close(p.done)
+}
+
+// runUnannotated shows the same close without the annotation.
+func (p *Puller) runUnannotated() {
+	defer close(p.done) // want `close\(p\.done\) of a stop channel outside sync\.Once\.Do`
+}
+
+// closeData closes a non-lifecycle channel field: allowed.
+func (p *Puller) closeData() {
+	close(p.events)
+}
+
+// closeLocal closes a local channel: allowed, locals cannot be
+// double-closed by a racing Stop.
+func closeLocal() {
+	ch := make(chan struct{})
+	close(ch)
+}
+
+// notSyncOnce: a Do method on something that is not sync.Once does not
+// count as protection.
+type fakeOnce struct{}
+
+func (fakeOnce) Do(f func()) { f() }
+
+func (p *Puller) stopFakeOnce() {
+	var o fakeOnce
+	o.Do(func() {
+		close(p.stop) // want `close\(p\.stop\) of a stop channel outside sync\.Once\.Do`
+	})
+}

@@ -1,0 +1,72 @@
+// Package nilsafe is a lint fixture loaded under the metrics package's
+// import path: exported pointer-receiver methods must open with a nil
+// guard before touching fields, because nil receivers are the
+// documented disabled configuration.
+package nilsafe
+
+// Op mirrors a metrics site.
+type Op struct {
+	n     uint64
+	name  string
+	inner struct{ hits uint64 }
+}
+
+// Bad reads a field with no guard: a nil *Op panics.
+func (o *Op) Bad() uint64 { // want `exported method \(\*Op\)\.Bad touches receiver fields without an .if o == nil. guard first`
+	return o.n
+}
+
+// BadWrite writes a field with no guard.
+func (o *Op) BadWrite() { // want `exported method \(\*Op\)\.BadWrite touches receiver fields without an .if o == nil. guard first`
+	o.n++
+}
+
+// BadLate guards only after already touching a field.
+func (o *Op) BadLate() uint64 { // want `exported method \(\*Op\)\.BadLate touches receiver fields without an .if o == nil. guard first`
+	v := o.n
+	if o == nil {
+		return 0
+	}
+	return v
+}
+
+// Good opens with the guard.
+func (o *Op) Good() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.n
+}
+
+// GoodReversed accepts the flipped comparison.
+func (o *Op) GoodReversed() string {
+	if nil == o {
+		return ""
+	}
+	return o.name
+}
+
+// GoodLater may run field-free statements before the guard
+// (Registry.Snapshot's shape: declare the zero return value first).
+func (o *Op) GoodLater() uint64 {
+	var total uint64
+	if o == nil {
+		return total
+	}
+	total += o.n
+	return total
+}
+
+// NoFields never touches receiver state, so it needs no guard.
+func (o *Op) NoFields() string { return "op" }
+
+// value receivers cannot be nil-dereferenced through the contract.
+func (o Op) Value() uint64 { return o.n }
+
+// unexported methods are internal and may assume non-nil.
+func (o *Op) internal() uint64 { return o.n }
+
+// Allowed documents why it skips the guard.
+//
+//lint:allow nilsafe init-time only; the registry never hands out nil here
+func (o *Op) Allowed() uint64 { return o.n }

@@ -1,0 +1,45 @@
+// Package wallclock is a lint fixture. The test loads it under the
+// import path of an instrumented package, so every wall-clock read
+// must be flagged.
+package wallclock
+
+import (
+	"time"
+
+	"eventspace/internal/hrtime"
+)
+
+// Banned wall-clock reads: each line must produce a finding.
+func banned() {
+	start := time.Now()             // want `time\.Now reads wall time in instrumented package`
+	_ = time.Since(start)           // want `time\.Since reads wall time in instrumented package`
+	time.Sleep(time.Millisecond)    // want `time\.Sleep reads wall time in instrumented package`
+	<-time.After(time.Millisecond)  // want `time\.After reads wall time in instrumented package`
+	t := time.NewTimer(time.Second) // want `time\.NewTimer reads wall time in instrumented package`
+	t.Stop()
+	tk := time.NewTicker(time.Second) // want `time\.NewTicker reads wall time in instrumented package`
+	tk.Stop()
+}
+
+// Modelled time and time's non-clock identifiers stay allowed.
+func allowed() {
+	start := hrtime.Now()
+	_ = hrtime.Since(start)
+	hrtime.Sleep(2 * time.Millisecond) // time.Duration constants are fine
+	var d time.Duration = time.Microsecond
+	_ = d
+}
+
+// A line-scoped annotation with a reason suppresses the finding.
+func annotated() {
+	deadline := time.Now() //lint:allow wallclock fixture exercises the escape hatch
+	_ = deadline
+	//lint:allow wallclock annotation on the line above also counts
+	_ = time.Now()
+}
+
+// A local identifier named time is not the time package.
+func shadowed() {
+	time := struct{ Now func() int }{Now: func() int { return 0 }}
+	_ = time.Now()
+}

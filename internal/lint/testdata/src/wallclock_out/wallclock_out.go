@@ -1,0 +1,12 @@
+// Package wallclock_out is a lint fixture loaded under a
+// non-instrumented import path: wall time is legal here, so the file
+// has no want comments and must produce no findings.
+package wallclock_out
+
+import "time"
+
+func benchTimer() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Microsecond)
+	return time.Since(start)
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockBanned are the package-time functions that read or wait on
+// wall time. Constants (time.Microsecond) and types (time.Duration)
+// stay allowed; only the clock itself is banned.
+var wallclockBanned = map[string]string{
+	"Now":       "hrtime.Now",
+	"Since":     "hrtime.Since",
+	"Sleep":     "hrtime.Sleep (or vclock.SleepOutside in a driver loop)",
+	"Until":     "hrtime-based arithmetic",
+	"After":     "a stop channel plus hrtime.Sleep",
+	"Tick":      "a loop around hrtime.Sleep",
+	"NewTicker": "a loop around hrtime.Sleep",
+	"NewTimer":  "a stop channel plus hrtime.Sleep",
+	"AfterFunc": "a goroutine around hrtime.Sleep",
+}
+
+// Wallclock forbids wall-time reads in instrumented packages. Under
+// RunVirtual the whole stack runs on the discrete-event clock; one
+// stray time.Now puts wall-time stamps into histograms and traces and
+// silently breaks determinism (the PR-1 vclock sleep-accounting bug
+// class). Everything on the monitoring path must use hrtime/vclock.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/time.Since/time.Sleep (and friends) in instrumented packages; " +
+		"use hrtime.Now/hrtime.Since/hrtime.Sleep or vclock.SleepOutside so RunVirtual stays on modelled time",
+	Run: runWallclock,
+}
+
+func runWallclock(pass *Pass) error {
+	if !instrumentedPkgs[pass.Pkg.Path] {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		walkStack(f, func(n ast.Node, _ []ast.Node) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			repl, banned := wallclockBanned[sel.Sel.Name]
+			if !banned {
+				return
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return
+			}
+			pn, ok := pass.Pkg.Info.Uses[ident].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads wall time in instrumented package %s; use %s so histograms and traces stay on modelled time under RunVirtual",
+				sel.Sel.Name, pass.Pkg.Types.Name(), repl)
+		})
+	}
+	return nil
+}

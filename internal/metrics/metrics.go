@@ -110,8 +110,12 @@ type Histogram struct {
 
 func (h *Histogram) init() { h.min.Store(math.MaxInt64) }
 
-// Observe records one duration in nanoseconds.
+// Observe records one duration in nanoseconds. A nil histogram is a
+// no-op, matching the registry's disabled configuration.
 func (h *Histogram) Observe(ns int64) {
+	if h == nil {
+		return
+	}
 	if ns < 0 {
 		ns = 0
 	}
@@ -234,11 +238,21 @@ type Op struct {
 	lat   Histogram
 }
 
-// Kind returns the site's kind.
-func (o *Op) Kind() Kind { return o.kind }
+// Kind returns the site's kind (KindStub on a nil site).
+func (o *Op) Kind() Kind {
+	if o == nil {
+		return KindStub
+	}
+	return o.kind
+}
 
-// Name returns the site's name.
-func (o *Op) Name() string { return o.name }
+// Name returns the site's name ("" on a nil site).
+func (o *Op) Name() string {
+	if o == nil {
+		return ""
+	}
+	return o.name
+}
 
 // Record accounts one operation: its hrtime duration in nanoseconds,
 // the payload bytes it moved, and whether it failed.
@@ -263,8 +277,13 @@ type Counter struct {
 	n    atomic.Uint64
 }
 
-// Name returns the counter's name.
-func (c *Counter) Name() string { return c.name }
+// Name returns the counter's name ("" on a nil counter).
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
 
 // Inc adds one.
 func (c *Counter) Inc() {

@@ -1,5 +1,7 @@
 package monitor
 
+//lint:file-allow wallclock chaos workload paces real goroutines with wall-clock sleeps
+
 import (
 	"encoding/binary"
 	"sync"

@@ -103,11 +103,11 @@ type LoadBalance struct {
 	fanins  map[uint32]int
 
 	// Distributed-analysis state.
-	cs      *cosched.Set
-	hosts   []*lbHostAnalysis
-	stop    chan struct{}
-	wg      sync.WaitGroup
-	stopped bool
+	cs       *cosched.Set
+	hosts    []*lbHostAnalysis
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	stopOnce sync.Once
 }
 
 // lbHostAnalysis is one host's analysis thread state (distributed mode).
@@ -416,21 +416,23 @@ func (lb *LoadBalance) Start() {
 	})
 }
 
-// Stop halts all monitor threads.
+// Stop halts all monitor threads. It is idempotent and safe to call
+// from multiple goroutines: the previous boolean guard raced (both
+// callers observe false, both close — the Puller.Stop bug class,
+// flagged by the closeonce analyzer), so teardown runs under a
+// sync.Once and late callers block until the first finishes.
 func (lb *LoadBalance) Stop() {
-	if lb.stopped {
-		return
-	}
-	lb.stopped = true
-	if lb.cs != nil {
-		lb.cs.CloseAll()
-	}
-	close(lb.stop)
-	if lb.puller != nil {
-		lb.puller.Stop()
-	}
-	lb.wg.Wait()
-	lb.scope.Close()
+	lb.stopOnce.Do(func() {
+		if lb.cs != nil {
+			lb.cs.CloseAll()
+		}
+		close(lb.stop)
+		if lb.puller != nil {
+			lb.puller.Stop()
+		}
+		lb.wg.Wait()
+		lb.scope.Close()
+	})
 }
 
 // Weighted returns the front-end weighted tree.

@@ -1,5 +1,7 @@
 package monitor
 
+//lint:file-allow wallclock the waitFor harness polls real monitors against wall-clock deadlines
+
 import (
 	"sync"
 	"testing"

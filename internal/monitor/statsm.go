@@ -40,9 +40,9 @@ type Statsm struct {
 
 	atree *AnalysisTree
 
-	stop    chan struct{}
-	wg      sync.WaitGroup
-	stopped bool
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	stopOnce sync.Once
 }
 
 // statsHost is one host's analysis state. Multiple analysis threads on the
@@ -483,30 +483,32 @@ func (sm *Statsm) Start() {
 	sm.threadPull = sm.threadScope.StartPuller(sm.cfg.PullInterval, sink)
 }
 
-// Stop halts all monitor threads.
+// Stop halts all monitor threads. It is idempotent and safe to call
+// from multiple goroutines: a boolean guard here raced (both callers
+// observe false, both close — the Puller.Stop bug class, flagged by
+// the closeonce analyzer), so the whole teardown runs under a
+// sync.Once and late callers block until the first finishes.
 func (sm *Statsm) Stop() {
-	if sm.stopped {
-		return
-	}
-	sm.stopped = true
-	if sm.cs != nil {
-		sm.cs.CloseAll()
-	}
-	close(sm.stop)
-	if sm.wrapperPull != nil {
-		sm.wrapperPull.Stop()
-	}
-	if sm.threadPull != nil {
-		sm.threadPull.Stop()
-	}
-	sm.wg.Wait()
-	sm.wrapperScope.Close()
-	sm.threadScope.Close()
-	for _, sh := range sm.hosts {
-		for _, c := range sh.conns {
-			c.Close()
+	sm.stopOnce.Do(func() {
+		if sm.cs != nil {
+			sm.cs.CloseAll()
 		}
-	}
+		close(sm.stop)
+		if sm.wrapperPull != nil {
+			sm.wrapperPull.Stop()
+		}
+		if sm.threadPull != nil {
+			sm.threadPull.Stop()
+		}
+		sm.wg.Wait()
+		sm.wrapperScope.Close()
+		sm.threadScope.Close()
+		for _, sh := range sm.hosts {
+			for _, c := range sh.conns {
+				c.Close()
+			}
+		}
+	})
 }
 
 // Tree returns the front-end analysis tree.

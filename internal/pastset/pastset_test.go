@@ -1,5 +1,7 @@
 package pastset
 
+//lint:file-allow wallclock blocking-read tests need real timeouts to catch a hang
+
 import (
 	"errors"
 	"fmt"

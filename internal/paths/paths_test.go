@@ -1,5 +1,7 @@
 package paths
 
+//lint:file-allow wallclock asserts real elapsed time to prove gather helpers run in parallel
+
 import (
 	"bytes"
 	"errors"

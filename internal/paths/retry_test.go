@@ -1,5 +1,7 @@
 package paths
 
+//lint:file-allow wallclock asserts real elapsed time against RetryPolicy.Deadline
+
 import (
 	"errors"
 	"fmt"
