@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench lint vet eslint ci
+.PHONY: build test test-short bench bench-archive lint vet eslint ci
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,15 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-archive builds the archive query CLI, runs the trace-archive
+# tests under the race detector, and records write/scan throughput in
+# BENCH_archive.json.
+bench-archive:
+	$(GO) build -o /dev/null ./cmd/esquery
+	$(GO) test -race ./internal/archive/
+	ARCHIVE_BENCH_OUT=$(CURDIR)/BENCH_archive.json \
+		$(GO) test -race -run TestRecordArchiveBench ./internal/bench/
 
 vet:
 	$(GO) vet ./...

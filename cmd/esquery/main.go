@@ -1,0 +1,265 @@
+// Command esquery queries and replays EventSpace trace archives: the
+// persistent segment directories written by System.AttachArchive (or an
+// archive.Writer directly). Everything it prints is computed from the
+// archived tuples' own timestamps, so running it twice over the same
+// archive produces byte-identical output.
+//
+// Usage:
+//
+//	esquery info    -dir DIR
+//	esquery filter  -dir DIR [-ecids 1,2] [-ops read,write] [-min N] [-max N] [-limit N]
+//	esquery summarize -dir DIR [filters] [-bucket D]
+//	esquery replay  -dir DIR [filters] [-monitor loadbalance|stats] [-window N]
+//
+// info lists the segments and their header indexes; filter streams
+// matching tuples as text; summarize aggregates per collector (and per
+// time bucket with -bucket); replay feeds the archive through the
+// load-balance or statistics join offline and renders the same viz
+// output the live monitor would.
+//
+// Exit status: 0 ok, 1 query/replay failure, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"eventspace/internal/archive"
+	"eventspace/internal/collect"
+	"eventspace/internal/paths"
+	"eventspace/internal/viz"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: esquery <info|filter|summarize|replay> -dir DIR [flags]")
+	fmt.Fprintln(os.Stderr, "run 'esquery <subcommand> -h' for the subcommand's flags")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	sub, args := os.Args[1], os.Args[2:]
+	var err error
+	switch sub {
+	case "info":
+		err = runInfo(args)
+	case "filter":
+		err = runFilter(args)
+	case "summarize":
+		err = runSummarize(args)
+	case "replay":
+		err = runReplay(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "esquery:", err)
+		os.Exit(1)
+	}
+}
+
+// queryFlags registers the shared -dir and filter flags on fs.
+type queryFlags struct {
+	dir   *string
+	ecids *string
+	ops   *string
+	min   *int64
+	max   *int64
+}
+
+func addQueryFlags(fs *flag.FlagSet) *queryFlags {
+	return &queryFlags{
+		dir:   fs.String("dir", "", "archive directory (required)"),
+		ecids: fs.String("ecids", "", "comma-separated event-collector ids to keep (empty: all)"),
+		ops:   fs.String("ops", "", "comma-separated op kinds to keep: read,write (empty: all)"),
+		min:   fs.Int64("min", 0, "minimum tuple Start stamp, inclusive"),
+		max:   fs.Int64("max", 0, "maximum tuple Start stamp, inclusive (0: unbounded)"),
+	}
+}
+
+// parse opens the reader and builds the query out of the flag values.
+func (qf *queryFlags) parse() (*archive.Reader, archive.Query, error) {
+	var q archive.Query
+	if *qf.dir == "" {
+		return nil, q, fmt.Errorf("-dir is required")
+	}
+	if *qf.ecids != "" {
+		for _, s := range strings.Split(*qf.ecids, ",") {
+			id, err := strconv.ParseUint(strings.TrimSpace(s), 10, 32)
+			if err != nil {
+				return nil, q, fmt.Errorf("-ecids: %v", err)
+			}
+			q.ECIDs = append(q.ECIDs, uint32(id))
+		}
+	}
+	if *qf.ops != "" {
+		for _, s := range strings.Split(*qf.ops, ",") {
+			switch strings.TrimSpace(s) {
+			case "read":
+				q.Ops = append(q.Ops, paths.OpRead)
+			case "write":
+				q.Ops = append(q.Ops, paths.OpWrite)
+			default:
+				return nil, q, fmt.Errorf("-ops: unknown op %q (want read or write)", s)
+			}
+		}
+	}
+	q.MinStamp, q.MaxStamp = *qf.min, *qf.max
+	r, err := archive.OpenReader(*qf.dir)
+	if err != nil {
+		return nil, q, err
+	}
+	return r, q, nil
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("esquery info", flag.ExitOnError)
+	qf := addQueryFlags(fs)
+	fs.Parse(args)
+	r, _, err := qf.parse()
+	if err != nil {
+		return err
+	}
+	segs := r.Segments()
+	fmt.Printf("archive %s: %d segments, %d tuples\n", r.Dir(), len(segs), r.Tuples())
+	for _, s := range segs {
+		state := "sealed"
+		if !s.Sealed {
+			state = "open"
+		}
+		if s.Torn {
+			state += ",torn"
+		}
+		fmt.Printf("  seg %4d  %-11s %8d B  %6d tuples  %4d blocks  ecids [%d,%d]  stamps [%d,%d]\n",
+			s.ID, state, s.Bytes, s.Index.Tuples, s.Index.Blocks,
+			s.Index.MinECID, s.Index.MaxECID, s.Index.MinStamp, s.Index.MaxStamp)
+	}
+	if infos, err := archive.ReadMeta(r.Dir()); err == nil && len(infos) > 0 {
+		fmt.Printf("collectors (%d):\n", len(infos))
+		for _, in := range infos {
+			fmt.Printf("  ec %4d  %-12s node %-14s contributor %2d  %s\n",
+				in.ID, in.Role, in.Node, in.Contributor, in.Name)
+		}
+	}
+	return nil
+}
+
+func runFilter(args []string) error {
+	fs := flag.NewFlagSet("esquery filter", flag.ExitOnError)
+	qf := addQueryFlags(fs)
+	limit := fs.Int("limit", 0, "stop after N matching tuples (0: no limit)")
+	fs.Parse(args)
+	r, q, err := qf.parse()
+	if err != nil {
+		return err
+	}
+	n := 0
+	stats, err := r.Scan(q, func(t collect.TraceTuple) bool {
+		fmt.Printf("ec %4d  %-5s ret %3d  seq %8d  start %12d  end %12d  lat %s\n",
+			t.ECID, opName(t.Op), t.Ret, t.Seq, t.Start, t.End, time.Duration(t.End-t.Start))
+		n++
+		return *limit == 0 || n < *limit
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d tuples matched (%d scanned, %d/%d segments skipped)\n",
+		stats.TuplesMatched, stats.TuplesScanned, stats.SegmentsSkipped, stats.Segments)
+	return nil
+}
+
+func runSummarize(args []string) error {
+	fs := flag.NewFlagSet("esquery summarize", flag.ExitOnError)
+	qf := addQueryFlags(fs)
+	bucket := fs.Duration("bucket", 0, "also print a per-collector time series with this bucket width")
+	fs.Parse(args)
+	r, q, err := qf.parse()
+	if err != nil {
+		return err
+	}
+	sums, stats, err := r.Summarize(q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %10s %8s %14s %14s %12s\n", "ecid", "tuples", "errors", "first-start", "last-end", "mean-lat")
+	for _, c := range sums {
+		fmt.Printf("%-6d %10d %8d %14d %14d %12s\n",
+			c.ECID, c.Tuples, c.Errors, c.FirstStart, c.LastEnd, c.MeanLatency())
+	}
+	fmt.Printf("%d tuples matched (%d/%d segments skipped)\n",
+		stats.TuplesMatched, stats.SegmentsSkipped, stats.Segments)
+	if *bucket > 0 {
+		series, _, err := r.TimeSeries(q, *bucket)
+		if err != nil {
+			return err
+		}
+		ids := make([]uint32, 0, len(series))
+		for id := range series {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			fmt.Printf("ec %d series (bucket %s):\n", id, *bucket)
+			for _, p := range series[id] {
+				fmt.Printf("  %12d  %8d tuples  mean-lat %s\n", p.Bucket, p.Tuples, p.MeanLatency())
+			}
+		}
+	}
+	return nil
+}
+
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("esquery replay", flag.ExitOnError)
+	qf := addQueryFlags(fs)
+	mon := fs.String("monitor", "loadbalance", "which monitor to replay: loadbalance or stats")
+	window := fs.Int("window", 0, "sliding median window for stats replay (0: default)")
+	fs.Parse(args)
+	r, q, err := qf.parse()
+	if err != nil {
+		return err
+	}
+	infos, err := archive.ReadMeta(r.Dir())
+	if err != nil {
+		return err
+	}
+	switch *mon {
+	case "loadbalance":
+		rep, stats, err := archive.ReplayLastArrival(r, infos, q)
+		if err != nil {
+			return err
+		}
+		fed, matched := rep.Fed()
+		fmt.Printf("replayed %d tuples (%d contributor tuples, %d rounds lost, %d/%d segments skipped)\n",
+			fed, matched, rep.Lost(), stats.SegmentsSkipped, stats.Segments)
+		return viz.WeightedTree(os.Stdout, rep.Weighted())
+	case "stats":
+		rep, stats, err := archive.ReplayStats(r, infos, q, *window)
+		if err != nil {
+			return err
+		}
+		fed, matched := rep.Fed()
+		fmt.Printf("replayed %d tuples (%d joined, %d rounds, %d/%d segments skipped)\n",
+			fed, matched, rep.RoundsAnalyzed(), stats.SegmentsSkipped, stats.Segments)
+		return viz.AnalysisTree(os.Stdout, rep.Tree(), nil)
+	default:
+		return fmt.Errorf("-monitor: unknown monitor %q (want loadbalance or stats)", *mon)
+	}
+}
+
+func opName(op paths.OpKind) string {
+	switch op {
+	case paths.OpRead:
+		return "read"
+	case paths.OpWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("op(%d)", op)
+	}
+}

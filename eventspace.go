@@ -47,6 +47,7 @@ package eventspace
 import (
 	"time"
 
+	"eventspace/internal/archive"
 	"eventspace/internal/cluster"
 	"eventspace/internal/core"
 	"eventspace/internal/cosched"
@@ -143,6 +144,57 @@ type (
 
 // NewMetricsRegistry returns an empty self-metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// Trace archive: the persistent flight recorder (see DESIGN.md "Trace
+// archive"). Record a run with System.AttachArchive, query it back with
+// OpenArchive, and replay it through the monitors' joins with
+// ReplayLastArrival / ReplayStats — or from the command line with
+// cmd/esquery.
+type (
+	// ArchiveOptions configures an archive writer (directory, segment
+	// size cap, retention cap, block size, self-metrics).
+	ArchiveOptions = archive.Options
+	// ArchiveWriter appends trace tuples to a segmented archive.
+	ArchiveWriter = archive.Writer
+	// ArchiveReader queries an archive directory.
+	ArchiveReader = archive.Reader
+	// ArchiveQuery selects tuples (ECID set, op kinds, stamp range).
+	ArchiveQuery = archive.Query
+	// ArchiveRecorder records a tree's trace tuples into an archive
+	// alongside the live monitors (System.AttachArchive).
+	ArchiveRecorder = core.ArchiveRecorder
+	// CollectorInfo is one collector's identity in the archive's
+	// metadata sidecar.
+	CollectorInfo = archive.CollectorInfo
+	// LastArrivalReplay re-runs the load-balance reduction offline.
+	LastArrivalReplay = monitor.LastArrivalReplay
+	// StatsReplay re-runs statsm's wrapper statistics offline.
+	StatsReplay = monitor.StatsReplay
+)
+
+// NewArchiveWriter opens (or crash-safely reopens) an archive directory
+// for appending.
+func NewArchiveWriter(opts ArchiveOptions) (*ArchiveWriter, error) { return archive.Create(opts) }
+
+// OpenArchive opens an archive directory for querying.
+func OpenArchive(dir string) (*ArchiveReader, error) { return archive.OpenReader(dir) }
+
+// ReadArchiveMeta loads an archive's collector-metadata sidecar.
+func ReadArchiveMeta(dir string) ([]CollectorInfo, error) { return archive.ReadMeta(dir) }
+
+// ReplayLastArrival re-runs the load-balance monitor's last-arrival
+// reduction over archived tuples matching q.
+func ReplayLastArrival(r *ArchiveReader, infos []CollectorInfo, q ArchiveQuery) (*LastArrivalReplay, error) {
+	rep, _, err := archive.ReplayLastArrival(r, infos, q)
+	return rep, err
+}
+
+// ReplayStats re-runs statsm's wrapper-statistics computation over
+// archived tuples matching q (window < 1 uses the analysis default).
+func ReplayStats(r *ArchiveReader, infos []CollectorInfo, q ArchiveQuery, window int) (*StatsReplay, error) {
+	rep, _, err := archive.ReplayStats(r, infos, q, window)
+	return rep, err
+}
 
 // Fault event kinds.
 const (

@@ -1,8 +1,11 @@
 package eventspace
 
 import (
+	"bytes"
 	"testing"
 	"time"
+
+	"eventspace/internal/viz"
 )
 
 // TestFacadeQuickstart runs the doc-comment quick start end to end.
@@ -37,6 +40,101 @@ func TestFacadeQuickstart(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestArchiveReplayMatchesLiveLoadBalance is the determinism contract of
+// the trace archive: recording a run and replaying the archive through
+// the load-balance join offline must reproduce the live single-scope
+// monitor's per-round last-arrival verdicts exactly — same weighted
+// tree, byte for byte in the viz rendering. The run is sized so neither
+// side loses tuples (large trace buffers, continuous pulls, no
+// retention), which the test asserts before comparing.
+func TestArchiveReplayMatchesLiveLoadBalance(t *testing.T) {
+	dir := t.TempDir()
+	var liveOut bytes.Buffer
+	const iters = 60
+	err := RunVirtual(func() error {
+		sys, err := New(SingleTin(8), CoschedAfterUnblock)
+		if err != nil {
+			return err
+		}
+		defer sys.Close()
+		tree, err := sys.BuildTree(TreeSpec{
+			Name: "T", Fanout: 4, ThreadsPerHost: 1, Instrument: true, TraceBufCap: 4096,
+		})
+		if err != nil {
+			return err
+		}
+		cfg := DefaultMonitorConfig()
+		cfg.PullInterval = 200 * time.Microsecond
+		lb, err := sys.AttachLoadBalance(tree, SingleScope, cfg)
+		if err != nil {
+			return err
+		}
+		// Small segments force several rotations mid-run; no retention
+		// cap, so nothing recorded is deleted.
+		rec, err := sys.AttachArchive(tree, 200*time.Microsecond, ArchiveOptions{
+			Dir: dir, SegmentBytes: 4096,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := sys.RunWorkload(Workload{Trees: []*Tree{tree}, Iterations: iters}); err != nil {
+			return err
+		}
+		// Every node joins every iteration: wait for the live monitor to
+		// observe all rounds so the comparison is loss-free on its side.
+		want := uint64(iters * len(tree.Nodes))
+		for i := 0; lb.RoundsObserved() < want; i++ {
+			if i > 5000 {
+				t.Errorf("live monitor observed %d rounds, want %d", lb.RoundsObserved(), want)
+				break
+			}
+			SleepOutside(100 * time.Microsecond)
+		}
+		rec.Stop()
+		if err := rec.Err(); err != nil {
+			return err
+		}
+		if rate := lb.GatherRate(); rate < 1 {
+			t.Errorf("live monitor lost tuples (gather rate %v); comparison not meaningful", rate)
+		}
+		if err := viz.WeightedTree(&liveOut, lb.Weighted()); err != nil {
+			return err
+		}
+		sys.Close()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos, err := ReadArchiveMeta(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayLastArrival(r, infos, ArchiveQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost := rep.Lost(); lost != 0 {
+		t.Fatalf("replay evicted %d incomplete rounds", lost)
+	}
+	var replayOut bytes.Buffer
+	if err := viz.WeightedTree(&replayOut, rep.Weighted()); err != nil {
+		t.Fatal(err)
+	}
+	if liveOut.String() != replayOut.String() {
+		t.Fatalf("replay diverged from live monitor\n--- live ---\n%s--- replay ---\n%s",
+			liveOut.String(), replayOut.String())
+	}
+	if replayOut.Len() == 0 {
+		t.Fatal("empty weighted trees compared")
 	}
 }
 

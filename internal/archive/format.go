@@ -1,0 +1,226 @@
+package archive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"eventspace/internal/collect"
+	"eventspace/internal/hrtime"
+)
+
+// Segment header layout (64 bytes, little endian):
+//
+//	off  size  field
+//	  0     4  magic "ESG1"
+//	  4     2  version (1)
+//	  6     2  flags (bit 0: sealed)
+//	  8     4  segment id
+//	 12     4  min ECID        ┐
+//	 16     4  max ECID        │ index over the segment's tuples,
+//	 20     8  min stamp       │ valid once sealed; recovered by a
+//	 28     8  max stamp       │ block scan otherwise
+//	 36     8  tuple count     │
+//	 44     4  block count     ┘
+//	 48    12  reserved (zero)
+//	 60     4  CRC32(header[0:60])
+const (
+	segmentMagic      = 0x31475345 // "ESG1" little-endian
+	segmentVersion    = 1
+	segmentHeaderSize = 64
+	blockHeaderSize   = 8
+
+	flagSealed = 1 << 0
+)
+
+// SegmentIndex is the queryable summary of one segment's tuples: the
+// pushdown filters skip a whole segment when its ranges cannot
+// intersect the query.
+type SegmentIndex struct {
+	MinECID, MaxECID   uint32
+	MinStamp, MaxStamp hrtime.Stamp
+	Tuples             uint64
+	Blocks             uint32
+}
+
+// empty reports whether the index has absorbed no tuples.
+func (x *SegmentIndex) empty() bool { return x.Tuples == 0 }
+
+// add folds one tuple into the index. Stamps use the tuple's own
+// Start/End timestamps — the archive never consults a clock.
+func (x *SegmentIndex) add(t collect.TraceTuple) {
+	if x.Tuples == 0 {
+		x.MinECID, x.MaxECID = t.ECID, t.ECID
+		x.MinStamp, x.MaxStamp = t.Start, t.End
+	} else {
+		if t.ECID < x.MinECID {
+			x.MinECID = t.ECID
+		}
+		if t.ECID > x.MaxECID {
+			x.MaxECID = t.ECID
+		}
+		if t.Start < x.MinStamp {
+			x.MinStamp = t.Start
+		}
+		if t.End > x.MaxStamp {
+			x.MaxStamp = t.End
+		}
+	}
+	x.Tuples++
+}
+
+// segmentHeader is the decoded form of a segment file's first 64 bytes.
+type segmentHeader struct {
+	ID     uint32
+	Sealed bool
+	Index  SegmentIndex
+}
+
+func encodeHeader(h segmentHeader) []byte {
+	buf := make([]byte, segmentHeaderSize)
+	binary.LittleEndian.PutUint32(buf[0:4], segmentMagic)
+	binary.LittleEndian.PutUint16(buf[4:6], segmentVersion)
+	var flags uint16
+	if h.Sealed {
+		flags |= flagSealed
+	}
+	binary.LittleEndian.PutUint16(buf[6:8], flags)
+	binary.LittleEndian.PutUint32(buf[8:12], h.ID)
+	binary.LittleEndian.PutUint32(buf[12:16], h.Index.MinECID)
+	binary.LittleEndian.PutUint32(buf[16:20], h.Index.MaxECID)
+	binary.LittleEndian.PutUint64(buf[20:28], uint64(h.Index.MinStamp))
+	binary.LittleEndian.PutUint64(buf[28:36], uint64(h.Index.MaxStamp))
+	binary.LittleEndian.PutUint64(buf[36:44], h.Index.Tuples)
+	binary.LittleEndian.PutUint32(buf[44:48], h.Index.Blocks)
+	binary.LittleEndian.PutUint32(buf[60:64], crc32.ChecksumIEEE(buf[:60]))
+	return buf
+}
+
+func decodeHeader(buf []byte) (segmentHeader, error) {
+	if len(buf) < segmentHeaderSize {
+		return segmentHeader{}, fmt.Errorf("archive: short segment header (%d bytes)", len(buf))
+	}
+	if m := binary.LittleEndian.Uint32(buf[0:4]); m != segmentMagic {
+		return segmentHeader{}, fmt.Errorf("archive: bad segment magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:6]); v != segmentVersion {
+		return segmentHeader{}, fmt.Errorf("archive: unsupported segment version %d", v)
+	}
+	if got, want := crc32.ChecksumIEEE(buf[:60]), binary.LittleEndian.Uint32(buf[60:64]); got != want {
+		return segmentHeader{}, fmt.Errorf("archive: segment header CRC mismatch (%#x != %#x)", got, want)
+	}
+	h := segmentHeader{
+		ID:     binary.LittleEndian.Uint32(buf[8:12]),
+		Sealed: binary.LittleEndian.Uint16(buf[6:8])&flagSealed != 0,
+	}
+	h.Index = SegmentIndex{
+		MinECID:  binary.LittleEndian.Uint32(buf[12:16]),
+		MaxECID:  binary.LittleEndian.Uint32(buf[16:20]),
+		MinStamp: int64(binary.LittleEndian.Uint64(buf[20:28])),
+		MaxStamp: int64(binary.LittleEndian.Uint64(buf[28:36])),
+		Tuples:   binary.LittleEndian.Uint64(buf[36:44]),
+		Blocks:   binary.LittleEndian.Uint32(buf[44:48]),
+	}
+	return h, nil
+}
+
+// encodeBlock frames a batch of tuples: an 8-byte header (count,
+// payload CRC) followed by the tuples' 28-byte encodings.
+func encodeBlock(tuples []collect.TraceTuple) []byte {
+	buf := make([]byte, blockHeaderSize+len(tuples)*collect.TupleSize)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(tuples)))
+	payload := buf[blockHeaderSize:]
+	for i, t := range tuples {
+		t.EncodeTo(payload[i*collect.TupleSize:])
+	}
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// scanResult is what scanSegment recovered from a segment's bytes.
+type scanResult struct {
+	Header segmentHeader
+	Index  SegmentIndex // recomputed from the blocks actually read
+	Tuples []collect.TraceTuple
+	// ValidBytes is the offset just past the last intact block: the
+	// truncation point for a crash-safe reopen.
+	ValidBytes int64
+	// Torn reports that trailing bytes past ValidBytes were dropped
+	// (a partial block header, short payload, bad CRC, or an invalid
+	// count — the torn-tail signature).
+	Torn bool
+}
+
+// scanSegment decodes a whole segment image: the header, then every
+// intact block in order. It never fails on a damaged tail — it stops
+// there and reports how much was valid — but it does fail on a
+// missing/corrupt header, which no crash of an append-only writer can
+// produce (headers are written before the first block).
+func scanSegment(buf []byte) (scanResult, error) {
+	h, err := decodeHeader(buf)
+	if err != nil {
+		return scanResult{}, err
+	}
+	res := scanResult{Header: h, ValidBytes: segmentHeaderSize}
+	off := int64(segmentHeaderSize)
+	for {
+		rest := buf[off:]
+		if len(rest) == 0 {
+			return res, nil
+		}
+		if len(rest) < blockHeaderSize {
+			res.Torn = true
+			return res, nil
+		}
+		count := binary.LittleEndian.Uint32(rest[0:4])
+		if count == 0 || count > MaxBlockTuples ||
+			int64(count) > (int64(len(rest))-blockHeaderSize)/collect.TupleSize {
+			res.Torn = true
+			return res, nil
+		}
+		payload := rest[blockHeaderSize : blockHeaderSize+int(count)*collect.TupleSize]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[4:8]) {
+			res.Torn = true
+			return res, nil
+		}
+		tuples, err := collect.DecodeAll(payload)
+		if err != nil {
+			// Unreachable for a CRC-valid whole-tuple payload; treat
+			// it as a torn tail rather than failing the scan.
+			res.Torn = true
+			return res, nil
+		}
+		for _, t := range tuples {
+			res.Index.add(t)
+		}
+		res.Tuples = append(res.Tuples, tuples...)
+		res.Index.Blocks++
+		off += blockHeaderSize + int64(count)*collect.TupleSize
+		res.ValidBytes = off
+	}
+}
+
+// overlapECIDs reports whether any queried ECID can fall inside the
+// index's ECID range.
+func (x *SegmentIndex) overlapECIDs(ecids []uint32) bool {
+	if len(ecids) == 0 {
+		return true
+	}
+	for _, id := range ecids {
+		if id >= x.MinECID && id <= x.MaxECID {
+			return true
+		}
+	}
+	return false
+}
+
+// overlapStamps reports whether the index's stamp range intersects
+// [min, max] (max <= 0 means unbounded).
+func (x *SegmentIndex) overlapStamps(min, max hrtime.Stamp) bool {
+	hi := max
+	if hi <= 0 {
+		hi = math.MaxInt64
+	}
+	return x.MinStamp <= hi && x.MaxStamp >= min
+}

@@ -1,0 +1,57 @@
+package archive
+
+import (
+	"testing"
+
+	"eventspace/internal/collect"
+)
+
+// FuzzSegmentDecode fuzzes the segment parser the reader and the
+// crash-safe reopen both rely on: arbitrary bytes must never panic, and
+// the recovered prefix must stay internally consistent (ValidBytes
+// inside the buffer, index matching the tuples actually decoded).
+func FuzzSegmentDecode(f *testing.F) {
+	// Seed: an empty sealed segment, one with two blocks, and torn
+	// variants of it.
+	empty := encodeHeader(segmentHeader{ID: 1, Sealed: true})
+	f.Add(empty)
+	var whole []byte
+	whole = append(whole, encodeHeader(segmentHeader{ID: 2})...)
+	whole = append(whole, encodeBlock([]collect.TraceTuple{
+		{ECID: 1, Seq: 0, Start: 10, End: 20},
+		{ECID: 2, Seq: 1, Start: 30, End: 40},
+	})...)
+	whole = append(whole, encodeBlock([]collect.TraceTuple{
+		{ECID: 3, Seq: 2, Start: 50, End: 60},
+	})...)
+	f.Add(whole)
+	f.Add(whole[:len(whole)-7])          // torn payload
+	f.Add(whole[:segmentHeaderSize+3])   // torn block header
+	f.Add(whole[:segmentHeaderSize-10])  // short header
+	f.Add(append([]byte(nil), whole...)) // mutated below by the engine
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := scanSegment(data)
+		if err != nil {
+			return // corrupt header: rejected outright
+		}
+		if res.ValidBytes < segmentHeaderSize || res.ValidBytes > int64(len(data)) {
+			t.Fatalf("ValidBytes %d outside [%d, %d]", res.ValidBytes, segmentHeaderSize, len(data))
+		}
+		if res.Index.Tuples != uint64(len(res.Tuples)) {
+			t.Fatalf("index counts %d tuples, decoded %d", res.Index.Tuples, len(res.Tuples))
+		}
+		if !res.Torn && res.ValidBytes != int64(len(data)) {
+			t.Fatalf("not torn but ValidBytes %d < %d", res.ValidBytes, len(data))
+		}
+		// The recovered prefix must itself rescan identically — the
+		// invariant behind truncate-and-continue reopens.
+		again, err := scanSegment(data[:res.ValidBytes])
+		if err != nil {
+			t.Fatalf("rescan of valid prefix failed: %v", err)
+		}
+		if again.Torn || again.Index != res.Index {
+			t.Fatalf("rescan diverged: torn=%v index=%+v want %+v", again.Torn, again.Index, res.Index)
+		}
+	})
+}

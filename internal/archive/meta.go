@@ -1,0 +1,127 @@
+package archive
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"eventspace/internal/collect"
+)
+
+// An archive of raw tuples is only replayable with the collector
+// topology that produced them: which ECID was which node's contributor,
+// which was the collective wrapper. That mapping lives in the collector
+// registry of the live run, so the archive stores it alongside the
+// segments as a small text sidecar ("collectors.meta"), written once at
+// attach time and read back by offline tooling (esquery) that has no
+// live registry.
+
+// MetaFileName is the collector-metadata sidecar stored next to the
+// segment files.
+const MetaFileName = "collectors.meta"
+
+// CollectorInfo is one event collector's identity, as recorded in the
+// archive's metadata sidecar.
+type CollectorInfo struct {
+	ID          uint32
+	Name        string
+	Role        collect.Role
+	Tree        string // spanning tree name
+	Node        string // tree node the collector instruments
+	Contributor int    // contributor index for contributor collectors, else -1
+}
+
+// MetaFromRegistry snapshots a live collector registry into sidecar
+// records, in ECID order.
+func MetaFromRegistry(reg *collect.Registry) []CollectorInfo {
+	if reg == nil {
+		return nil
+	}
+	var out []CollectorInfo
+	for _, ec := range reg.All() {
+		m := ec.Meta()
+		out = append(out, CollectorInfo{
+			ID:          ec.ID(),
+			Name:        ec.Name(),
+			Role:        m.Role,
+			Tree:        m.Tree,
+			Node:        m.Node,
+			Contributor: m.Contributor,
+		})
+	}
+	return out
+}
+
+// WriteMeta writes the collector sidecar into the archive directory,
+// replacing any previous one. The format is one tab-separated line per
+// collector: id, role, contributor, then the quoted tree, node and
+// collector names.
+func WriteMeta(dir string, infos []CollectorInfo) error {
+	sorted := append([]CollectorInfo(nil), infos...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	var b strings.Builder
+	for _, in := range sorted {
+		fmt.Fprintf(&b, "%d\t%d\t%d\t%q\t%q\t%q\n",
+			in.ID, uint8(in.Role), in.Contributor, in.Tree, in.Node, in.Name)
+	}
+	path := filepath.Join(dir, MetaFileName)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("archive: %v", err)
+	}
+	return nil
+}
+
+// ReadMeta loads the collector sidecar from the archive directory. A
+// missing sidecar is not an error: it returns no records (raw queries
+// still work; replay needs the records and says so).
+func ReadMeta(dir string) ([]CollectorInfo, error) {
+	data, err := os.ReadFile(filepath.Join(dir, MetaFileName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("archive: %v", err)
+	}
+	var out []CollectorInfo
+	for ln, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 6 {
+			return nil, fmt.Errorf("archive: %s line %d: %d fields", MetaFileName, ln+1, len(fields))
+		}
+		id, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("archive: %s line %d: id: %v", MetaFileName, ln+1, err)
+		}
+		role, err := strconv.ParseUint(fields[1], 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("archive: %s line %d: role: %v", MetaFileName, ln+1, err)
+		}
+		contrib, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("archive: %s line %d: contributor: %v", MetaFileName, ln+1, err)
+		}
+		var strs [3]string
+		for i, f := range fields[3:] {
+			s, err := strconv.Unquote(f)
+			if err != nil {
+				return nil, fmt.Errorf("archive: %s line %d: field %d: %v", MetaFileName, ln+1, i+4, err)
+			}
+			strs[i] = s
+		}
+		out = append(out, CollectorInfo{
+			ID:          uint32(id),
+			Name:        strs[2],
+			Role:        collect.Role(role),
+			Tree:        strs[0],
+			Node:        strs[1],
+			Contributor: contrib,
+		})
+	}
+	return out, nil
+}

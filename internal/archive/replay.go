@@ -1,0 +1,125 @@
+package archive
+
+import (
+	"fmt"
+
+	"eventspace/internal/collect"
+	"eventspace/internal/monitor"
+)
+
+// lastArrivalPorts derives the load-balance replay wiring from archived
+// collector metadata: every contributor collector becomes a port onto
+// its node's join, with the node's fan-in counted from the metadata
+// itself.
+func lastArrivalPorts(infos []CollectorInfo) (map[uint32]monitor.ReplayPort, error) {
+	if len(infos) == 0 {
+		return nil, fmt.Errorf("archive: no collector metadata (missing %s?)", MetaFileName)
+	}
+	type nodeKey struct{ tree, node string }
+	fanin := make(map[nodeKey]int)
+	for _, in := range infos {
+		if in.Role == collect.RoleContributor {
+			fanin[nodeKey{in.Tree, in.Node}]++
+		}
+	}
+	ports := make(map[uint32]monitor.ReplayPort)
+	for _, in := range infos {
+		if in.Role != collect.RoleContributor {
+			continue
+		}
+		ports[in.ID] = monitor.ReplayPort{
+			Node:        in.Node,
+			Contributor: in.Contributor,
+			Fanin:       fanin[nodeKey{in.Tree, in.Node}],
+		}
+	}
+	if len(ports) == 0 {
+		return nil, fmt.Errorf("archive: metadata has no contributor collectors")
+	}
+	return ports, nil
+}
+
+// statsPorts derives the statistics replay wiring: contributor and
+// collective collectors both feed their node's round join, keyed by the
+// node's collective ECID.
+func statsPorts(infos []CollectorInfo) (map[uint32]monitor.ReplayStatsPort, error) {
+	if len(infos) == 0 {
+		return nil, fmt.Errorf("archive: no collector metadata (missing %s?)", MetaFileName)
+	}
+	type nodeKey struct{ tree, node string }
+	fanin := make(map[nodeKey]int)
+	collective := make(map[nodeKey]uint32)
+	for _, in := range infos {
+		switch in.Role {
+		case collect.RoleContributor:
+			fanin[nodeKey{in.Tree, in.Node}]++
+		case collect.RoleCollective:
+			collective[nodeKey{in.Tree, in.Node}] = in.ID
+		}
+	}
+	ports := make(map[uint32]monitor.ReplayStatsPort)
+	for _, in := range infos {
+		key := nodeKey{in.Tree, in.Node}
+		id, ok := collective[key]
+		if !ok {
+			continue
+		}
+		switch in.Role {
+		case collect.RoleContributor:
+			ports[in.ID] = monitor.ReplayStatsPort{NodeID: id, Contributor: in.Contributor, Fanin: fanin[key]}
+		case collect.RoleCollective:
+			ports[in.ID] = monitor.ReplayStatsPort{NodeID: id, Contributor: -1, Fanin: fanin[key]}
+		}
+	}
+	if len(ports) == 0 {
+		return nil, fmt.Errorf("archive: metadata has no collective/contributor collectors")
+	}
+	return ports, nil
+}
+
+// ReplayLastArrival scans the archive and re-runs the load-balance
+// monitor's last-arrival reduction offline. infos is the archived
+// collector metadata (ReadMeta, or MetaFromRegistry against a live
+// registry); q restricts which tuples are replayed (zero Query: all).
+// The result's Weighted() tree matches the live single-scope monitor's
+// verdicts whenever neither side lost rounds.
+func ReplayLastArrival(r *Reader, infos []CollectorInfo, q Query) (*monitor.LastArrivalReplay, ScanStats, error) {
+	ports, err := lastArrivalPorts(infos)
+	if err != nil {
+		return nil, ScanStats{}, err
+	}
+	rep, err := monitor.NewLastArrivalReplay(ports)
+	if err != nil {
+		return nil, ScanStats{}, err
+	}
+	stats, err := r.Scan(q, func(t collect.TraceTuple) bool {
+		rep.Feed(t)
+		return true
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return rep, stats, nil
+}
+
+// ReplayStats scans the archive and re-runs statsm's wrapper-statistics
+// computation offline. window is the sliding median window (values < 1
+// use the analysis default).
+func ReplayStats(r *Reader, infos []CollectorInfo, q Query, window int) (*monitor.StatsReplay, ScanStats, error) {
+	ports, err := statsPorts(infos)
+	if err != nil {
+		return nil, ScanStats{}, err
+	}
+	rep, err := monitor.NewStatsReplay(ports, window)
+	if err != nil {
+		return nil, ScanStats{}, err
+	}
+	stats, err := r.Scan(q, func(t collect.TraceTuple) bool {
+		rep.Feed(t)
+		return true
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return rep, stats, nil
+}

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"eventspace/internal/archive"
+	"eventspace/internal/collect"
+	"eventspace/internal/paths"
+)
+
+// benchTuples builds n synthetic trace tuples spread over four
+// collectors with monotone stamps, the shape an escope puller delivers.
+func benchTuples(n int) []collect.TraceTuple {
+	out := make([]collect.TraceTuple, n)
+	for i := range out {
+		op := paths.OpWrite
+		if i%2 == 1 {
+			op = paths.OpRead
+		}
+		out[i] = collect.TraceTuple{
+			ECID:  uint32(1 + i%4),
+			Op:    op,
+			Seq:   uint32(i / 4),
+			Start: int64(i) * 1000,
+			End:   int64(i)*1000 + 700,
+		}
+	}
+	return out
+}
+
+// BenchmarkArchiveWrite measures sustained append throughput into a
+// rotating segmented archive (bytes/op = one encoded tuple).
+func BenchmarkArchiveWrite(b *testing.B) {
+	w, err := archive.Create(archive.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	tuples := benchTuples(256)
+	b.SetBytes(collect.TupleSize * int64(len(tuples)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(tuples); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkArchiveScan measures full-archive query throughput over a
+// pre-written store (bytes/op = the tuples scanned per iteration).
+func BenchmarkArchiveScan(b *testing.B) {
+	dir := b.TempDir()
+	w, err := archive.Create(archive.Options{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const total = 64 * 1024
+	if err := w.Append(benchTuples(total)); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	r, err := archive.OpenReader(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(collect.TupleSize * total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if _, err := r.Scan(archive.Query{}, func(collect.TraceTuple) bool {
+			n++
+			return true
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if n != total {
+			b.Fatalf("scanned %d tuples, want %d", n, total)
+		}
+	}
+}
+
+// TestRecordArchiveBench measures archive write and scan throughput once
+// and records it as JSON when ARCHIVE_BENCH_OUT names a file (the
+// Makefile bench-archive target). Without the variable it only sanity
+// checks that both paths move data.
+func TestRecordArchiveBench(t *testing.T) {
+	dir := t.TempDir()
+	w, err := archive.Create(archive.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 128 * 1024
+	tuples := benchTuples(total)
+	wStart := time.Now()
+	for off := 0; off < total; off += 1024 {
+		if err := w.Append(tuples[off : off+1024]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	writeDur := time.Since(wStart)
+	stats := w.Stats()
+	if stats.TuplesWritten != total {
+		t.Fatalf("wrote %d tuples, want %d", stats.TuplesWritten, total)
+	}
+
+	r, err := archive.OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sStart := time.Now()
+	n := 0
+	if _, err := r.Scan(archive.Query{}, func(collect.TraceTuple) bool {
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	scanDur := time.Since(sStart)
+	if n != total {
+		t.Fatalf("scanned %d tuples, want %d", n, total)
+	}
+
+	out := os.Getenv("ARCHIVE_BENCH_OUT")
+	if out == "" {
+		return
+	}
+	mbps := func(d time.Duration) float64 {
+		if d <= 0 {
+			return 0
+		}
+		return float64(total*collect.TupleSize) / d.Seconds() / 1e6
+	}
+	report := map[string]any{
+		"tuples":               total,
+		"tuple_bytes":          collect.TupleSize,
+		"segments":             stats.Segments,
+		"write_ns":             writeDur.Nanoseconds(),
+		"write_mb_per_sec":     mbps(writeDur),
+		"write_tuples_per_sec": float64(total) / writeDur.Seconds(),
+		"scan_ns":              scanDur.Nanoseconds(),
+		"scan_mb_per_sec":      mbps(scanDur),
+		"scan_tuples_per_sec":  float64(total) / scanDur.Seconds(),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("archive bench recorded to %s", out)
+}

@@ -72,19 +72,37 @@ func Decode(buf []byte) (TraceTuple, error) {
 	}, nil
 }
 
+// PartialTupleError reports a payload that ends mid-tuple: Offset is
+// where the short trailing tuple starts and Remaining how many bytes of
+// it are present (0 < Remaining < TupleSize). The archive's torn-tail
+// recovery uses Offset as the truncation point.
+type PartialTupleError struct {
+	Offset    int // byte offset of the first incomplete tuple
+	Remaining int // bytes present past Offset
+}
+
+// Error describes the partial tuple.
+func (e *PartialTupleError) Error() string {
+	return fmt.Sprintf("collect: partial trace tuple at byte %d (%d of %d bytes)",
+		e.Offset, e.Remaining, TupleSize)
+}
+
 // DecodeAll unpacks a concatenation of trace tuples, as produced by batch
-// readers and gather wrappers.
+// readers and gather wrappers. A payload ending mid-tuple yields every
+// whole tuple before the tear together with a *PartialTupleError
+// locating it, so callers can keep the intact prefix.
 func DecodeAll(buf []byte) ([]TraceTuple, error) {
-	if len(buf)%TupleSize != 0 {
-		return nil, fmt.Errorf("collect: payload %d bytes is not a whole number of trace tuples", len(buf))
-	}
-	out := make([]TraceTuple, 0, len(buf)/TupleSize)
-	for off := 0; off < len(buf); off += TupleSize {
+	whole := len(buf) / TupleSize
+	out := make([]TraceTuple, 0, whole)
+	for off := 0; off+TupleSize <= len(buf); off += TupleSize {
 		t, err := Decode(buf[off : off+TupleSize])
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		out = append(out, t)
+	}
+	if rem := len(buf) % TupleSize; rem != 0 {
+		return out, &PartialTupleError{Offset: whole * TupleSize, Remaining: rem}
 	}
 	return out, nil
 }

@@ -71,6 +71,47 @@ func TestDecodeAll(t *testing.T) {
 	}
 }
 
+func TestDecodeAllPartial(t *testing.T) {
+	a := TraceTuple{ECID: 1, Seq: 0}
+	b := TraceTuple{ECID: 2, Seq: 1}
+	whole := append(a.Encode(), b.Encode()...)
+	cases := []struct {
+		name      string
+		buf       []byte
+		wantN     int
+		wantOff   int
+		wantRem   int
+		wantWhole []TraceTuple
+	}{
+		{name: "one byte", buf: whole[:1], wantN: 0, wantOff: 0, wantRem: 1},
+		{name: "almost one tuple", buf: whole[:TupleSize-1], wantN: 0, wantOff: 0, wantRem: TupleSize - 1},
+		{name: "one and a bit", buf: whole[:TupleSize+5], wantN: 1, wantOff: TupleSize, wantRem: 5,
+			wantWhole: []TraceTuple{a}},
+		{name: "two minus one byte", buf: whole[:2*TupleSize-1], wantN: 1, wantOff: TupleSize, wantRem: TupleSize - 1,
+			wantWhole: []TraceTuple{a}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := DecodeAll(tc.buf)
+			var pe *PartialTupleError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *PartialTupleError", err)
+			}
+			if pe.Offset != tc.wantOff || pe.Remaining != tc.wantRem {
+				t.Fatalf("offset/remaining = %d/%d, want %d/%d", pe.Offset, pe.Remaining, tc.wantOff, tc.wantRem)
+			}
+			if len(got) != tc.wantN {
+				t.Fatalf("prefix length = %d, want %d", len(got), tc.wantN)
+			}
+			for i, want := range tc.wantWhole {
+				if got[i] != want {
+					t.Fatalf("prefix[%d] = %+v, want %+v", i, got[i], want)
+				}
+			}
+		})
+	}
+}
+
 func TestRoleString(t *testing.T) {
 	for r, want := range map[Role]string{
 		RoleGeneric:     "generic",

@@ -10,8 +10,11 @@ import (
 	"sync"
 	"time"
 
+	"eventspace/internal/archive"
 	"eventspace/internal/cluster"
+	"eventspace/internal/collect"
 	"eventspace/internal/cosched"
+	"eventspace/internal/escope"
 	"eventspace/internal/hrtime"
 	"eventspace/internal/metrics"
 	"eventspace/internal/monitor"
@@ -135,6 +138,103 @@ func (s *System) AttachStatsm(tree *cluster.Tree, cfg monitor.Config) (*monitor.
 	s.mu.Unlock()
 	return sm, nil
 }
+
+// ArchiveRecorder records a tree's raw trace tuples into a persistent
+// archive: its own event scope over every trace buffer, pulled by a
+// gather thread whose sink is the archive writer. It rides alongside
+// the live monitors — PastSet cursors are independent, so recording
+// does not steal tuples from them.
+type ArchiveRecorder struct {
+	scope  *escope.Scope
+	puller *escope.Puller
+	writer *archive.Writer
+
+	stopOnce sync.Once
+	stopErr  error
+}
+
+// AttachArchive builds and starts a trace recorder over an instrumented
+// tree: the collector metadata sidecar is written into the archive
+// directory (so offline tooling can replay without the live registry),
+// and a puller drains every event collector's trace buffer into the
+// archive every pull interval (0 pulls continuously).
+func (s *System) AttachArchive(tree *cluster.Tree, pull time.Duration, opts archive.Options) (*ArchiveRecorder, error) {
+	if !tree.Spec.Instrument {
+		return nil, fmt.Errorf("core: archive recorder needs an instrumented tree")
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = s.Metrics()
+	}
+	w, err := archive.Create(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := archive.WriteMeta(opts.Dir, archive.MetaFromRegistry(tree.Collectors)); err != nil {
+		w.Close()
+		return nil, err
+	}
+	spec := escope.Spec{
+		Name:     "archive/" + tree.Name,
+		FrontEnd: s.tb.FrontEnd,
+		Metrics:  opts.Metrics,
+	}
+	for _, ec := range tree.Collectors.All() {
+		spec.Sources = append(spec.Sources, escope.Source{
+			Host: ec.Host(), Elem: ec.Buffer(), RecSize: collect.TupleSize,
+		})
+	}
+	scope, err := escope.Build(s.tb.Net, spec)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	rec := &ArchiveRecorder{scope: scope, writer: w}
+	rec.puller = scope.StartPuller(pull, escope.ArchiveSink(w))
+	s.mu.Lock()
+	s.monitors = append(s.monitors, rec)
+	s.mu.Unlock()
+	return rec, nil
+}
+
+// Writer exposes the recorder's archive writer (e.g. for Stats).
+func (r *ArchiveRecorder) Writer() *archive.Writer { return r.writer }
+
+// Puller exposes the recorder's gather thread, for accounting.
+func (r *ArchiveRecorder) Puller() *escope.Puller { return r.puller }
+
+// Stop halts the recorder: the gather thread is stopped, one final pull
+// drains what the buffers still hold, and the archive is sealed. It is
+// idempotent; later calls return the first stop's error.
+func (r *ArchiveRecorder) Stop() {
+	r.stopOnce.Do(func() {
+		r.puller.Stop()
+		// The final drain performs modelled network work, and Stop may be
+		// the only thing left running (a driver stopping the recorder
+		// after the workload). An unregistered goroutine must not execute
+		// model operations — its sleeps would corrupt the runnable count
+		// and stall the clock — so the pull runs as a model goroutine and
+		// the driver parks on an ordinary channel.
+		done := make(chan struct{})
+		vclock.Go(func() {
+			defer close(done)
+			rep, err := r.scope.Pull(&paths.Ctx{Thread: r.scope.Name() + "/final"})
+			if err == nil && len(rep.Data) > 0 {
+				if err := r.writer.AppendRaw(rep.Data); err != nil {
+					r.stopErr = err
+				}
+			}
+		})
+		<-done
+		r.scope.Close()
+		if err := r.writer.Close(); err != nil && r.stopErr == nil {
+			r.stopErr = err
+		}
+	})
+}
+
+// Err returns the first error encountered while stopping the recorder
+// (nil before Stop and after a clean stop).
+func (r *ArchiveRecorder) Err() error { return r.stopErr }
 
 // Close stops every monitor and closes every tree.
 func (s *System) Close() {

@@ -490,6 +490,20 @@ const (
 	pullerBackoffMax  = 10 * time.Millisecond
 )
 
+// growBackoff advances the capped exponential pull-loop backoff.
+func growBackoff(b time.Duration) time.Duration {
+	switch {
+	case b == 0:
+		return pullerBackoffBase
+	case b < pullerBackoffMax:
+		b *= 2
+		if b > pullerBackoffMax {
+			b = pullerBackoffMax
+		}
+	}
+	return b
+}
+
 // StartPuller launches a gather thread pulling every interval (modelled
 // time; 0 pulls continuously). The sink receives every non-empty reply;
 // a nil sink discards data (pure drain). Consecutive pull errors back
@@ -514,23 +528,26 @@ func (s *Scope) StartPuller(interval time.Duration, sink func(paths.Reply) error
 			if err != nil {
 				p.errcnt.Add(1)
 				cErrs.Inc()
-				if backoff == 0 {
-					backoff = pullerBackoffBase
-				} else if backoff < pullerBackoffMax {
-					backoff *= 2
-					if backoff > pullerBackoffMax {
-						backoff = pullerBackoffMax
-					}
-				}
+				backoff = growBackoff(backoff)
 			} else {
-				backoff = 0
 				p.pulls.Add(1)
 				cPulls.Inc()
+				sinkErr := false
 				if sink != nil && len(rep.Data) > 0 {
 					if err := sink(rep); err != nil {
 						p.errcnt.Add(1)
 						cErrs.Inc()
+						sinkErr = true
 					}
+				}
+				// A failing sink (e.g. an archive writer whose disk is
+				// gone) backs the loop off exactly like a failing pull:
+				// without this the puller hot-loops, discarding a pull's
+				// worth of tuples per iteration at full speed.
+				if sinkErr {
+					backoff = growBackoff(backoff)
+				} else {
+					backoff = 0
 				}
 			}
 			wait := interval
@@ -560,3 +577,21 @@ func (p *Puller) Stop() {
 func (p *Puller) Pulls() uint64    { return p.pulls.Load() }
 func (p *Puller) Errors() uint64   { return p.errcnt.Load() }
 func (p *Puller) Backoffs() uint64 { return p.backoffs.Load() }
+
+// RawSink persists a raw record batch. archive.Writer satisfies it; the
+// indirection keeps escope independent of the archive's storage format.
+type RawSink interface {
+	AppendRaw(data []byte) error
+}
+
+// ArchiveSink adapts a raw-batch store (an archive writer) into a puller
+// sink: every gathered reply's payload is appended verbatim. Use it as
+// StartPuller's sink — or compose it with a monitor's own sink — to
+// record a scope's traffic:
+//
+//	scope.StartPuller(interval, escope.ArchiveSink(w))
+func ArchiveSink(w RawSink) func(paths.Reply) error {
+	return func(rep paths.Reply) error {
+		return w.AppendRaw(rep.Data)
+	}
+}

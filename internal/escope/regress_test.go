@@ -3,6 +3,7 @@ package escope
 //lint:file-allow wallclock regression tests wait on real goroutines with wall-clock deadlines
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -146,6 +147,68 @@ func TestPullerErrorBackoff(t *testing.T) {
 	}
 	if p.Backoffs() == 0 {
 		t.Fatal("no backoffs counted")
+	}
+}
+
+// constSource is a local wrapper whose every read returns the same
+// non-empty payload, so pulls always succeed with data and the sink
+// always runs.
+type constSource struct {
+	host *vnet.Host
+	data []byte
+}
+
+func (c *constSource) Name() string     { return "const" }
+func (c *constSource) Host() *vnet.Host { return c.host }
+func (c *constSource) Op(*paths.Ctx, paths.Request) (paths.Reply, error) {
+	return paths.Reply{Data: c.data}, nil
+}
+
+// TestPullerSinkErrorBackoff is the regression test for the sink-error
+// hot loop: pulls succeed but the sink (e.g. an archive writer whose
+// disk is gone) fails every time. The loop counted those errors but
+// never backed off, re-pulling and discarding a batch at full speed.
+// It must now apply the same capped exponential backoff as pull errors.
+// Runs at real-time scale like TestPullerErrorBackoff.
+func TestPullerSinkErrorBackoff(t *testing.T) {
+	n := vnet.NewNetwork(vnet.FastEthernet, vnet.DefaultCostModel())
+	c, err := n.AddCluster("a", "s1", 2, 2, vnet.GigabitEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := n.AddStandaloneHost("fe", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope, err := Build(n, Spec{
+		Name:     "sinkhot",
+		FrontEnd: fe,
+		Sources:  []Source{{Host: c.Hosts()[0], Custom: &constSource{host: c.Hosts()[0], data: []byte{1, 2, 3}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scope.Close()
+	p := scope.StartPuller(0, func(paths.Reply) error {
+		return fmt.Errorf("archive writer: disk gone")
+	})
+	defer p.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Errors() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatal("puller produced fewer than 5 sink errors")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	before := p.Errors()
+	time.Sleep(100 * time.Millisecond)
+	window := p.Errors() - before
+	if window > 1000 {
+		t.Fatalf("%d sink errors in 100ms: puller is hot-looping", window)
+	}
+	if p.Backoffs() == 0 {
+		t.Fatal("no backoffs counted for sink errors")
 	}
 }
 

@@ -218,6 +218,8 @@ var instrumentedPkgs = map[string]bool{
 	"eventspace/internal/monitor": true,
 	"eventspace/internal/metrics": true,
 	"eventspace/internal/pastset": true,
+	"eventspace/internal/archive": true,
+	"eventspace/cmd/esquery":      true,
 }
 
 // nilSafePkgs are the packages whose exported pointer-receiver methods

@@ -48,6 +48,10 @@ const (
 	// KindScopePull measures one full pull through an event scope's
 	// root; bytes are the records moved to the front-end.
 	KindScopePull
+	// KindArchive measures trace-archive I/O: block writes on the
+	// writer side, segment scans on the reader side; bytes are the
+	// segment bytes moved.
+	KindArchive
 	numKinds
 )
 
@@ -64,6 +68,8 @@ func (k Kind) String() string {
 		return "reader"
 	case KindScopePull:
 		return "scope-pull"
+	case KindArchive:
+		return "archive"
 	default:
 		return "kind(?)"
 	}
