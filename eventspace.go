@@ -56,6 +56,7 @@ import (
 	"eventspace/internal/metrics"
 	"eventspace/internal/monitor"
 	"eventspace/internal/paths"
+	"eventspace/internal/reconfig"
 	"eventspace/internal/vnet"
 )
 
@@ -128,6 +129,57 @@ type (
 	Coverage = escope.Coverage
 	// ChildHealth is a snapshot of one guarded gather child.
 	ChildHealth = escope.ChildHealth
+	// GuardRole says where in the scope tree a guarded link sits.
+	GuardRole = escope.GuardRole
+	// Transition is one guard state change, as delivered to transition
+	// hooks and repair managers.
+	Transition = escope.Transition
+)
+
+// Runtime tree repair (see DESIGN.md "Runtime reconfiguration"): a
+// ReconfigManager attached to a load-balance monitor re-parents orphaned
+// hosts or promotes a replacement gateway when a cluster gateway dies,
+// and FailoverLoadBalance rebuilds a lost front-end's state from its
+// sealed trace archive.
+type (
+	// ReconfigPolicy tunes the repair manager (fan-in cap, metrics,
+	// plan observer).
+	ReconfigPolicy = reconfig.Policy
+	// ReconfigManager plans and executes runtime tree repairs
+	// (System.AttachReconfig).
+	ReconfigManager = reconfig.Manager
+	// RepairPlan is one trigger's complete repair, with timing.
+	RepairPlan = reconfig.RepairPlan
+	// RepairStep is one action inside a repair plan.
+	RepairStep = reconfig.RepairStep
+	// RepairStepKind labels a repair step (reparent or promote).
+	RepairStepKind = reconfig.StepKind
+	// FailoverState is the archive-rebuilt front-end state handoff
+	// (System.FailoverLoadBalance / System.FailoverStatsm).
+	FailoverState = reconfig.FailoverState
+	// LoadBalanceResume seeds a replacement load-balance monitor after a
+	// front-end failover (LastArrivalReplay.Resume).
+	LoadBalanceResume = monitor.LoadBalanceResume
+)
+
+// Guard roles (where in the scope tree a guarded link sits).
+const (
+	RoleLeaf   = escope.RoleLeaf
+	RoleUplink = escope.RoleUplink
+	RoleDirect = escope.RoleDirect
+)
+
+// Repair step kinds.
+const (
+	StepReparent = reconfig.StepReparent
+	StepPromote  = reconfig.StepPromote
+)
+
+// Guard health states.
+const (
+	GuardAlive   = escope.Alive
+	GuardSuspect = escope.Suspect
+	GuardDead    = escope.Dead
 )
 
 // Self-metrics ("monitor the monitor", see DESIGN.md "Self-metrics").

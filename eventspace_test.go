@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"eventspace/internal/collect"
 	"eventspace/internal/viz"
 )
 
@@ -131,6 +132,156 @@ func TestArchiveReplayMatchesLiveLoadBalance(t *testing.T) {
 	}
 	if liveOut.String() != replayOut.String() {
 		t.Fatalf("replay diverged from live monitor\n--- live ---\n%s--- replay ---\n%s",
+			liveOut.String(), replayOut.String())
+	}
+	if replayOut.Len() == 0 {
+		t.Fatal("empty weighted trees compared")
+	}
+}
+
+// TestFrontEndFailoverResumesByteIdentical is the failover acceptance
+// contract: a run whose front-end monitor dies at a quiesce point and is
+// replaced by one rebuilt from the sealed archive must, at the end, have
+// a weighted tree byte-identical to an offline replay of the run's
+// complete archive (the sealed pre-failover directory plus the resumed
+// one, fed in sequence) — no round lost to the handoff, none counted
+// twice.
+func TestFrontEndFailoverResumesByteIdentical(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	var liveOut bytes.Buffer
+	const it1, it2 = 40, 40
+	err := RunVirtual(func() error {
+		sys, err := New(SingleTin(8), CoschedAfterUnblock)
+		if err != nil {
+			return err
+		}
+		defer sys.Close()
+		tree, err := sys.BuildTree(TreeSpec{
+			Name: "T", Fanout: 4, ThreadsPerHost: 1, Instrument: true, TraceBufCap: 4096,
+		})
+		if err != nil {
+			return err
+		}
+		cfg := DefaultMonitorConfig()
+		cfg.PullInterval = 200 * time.Microsecond
+		lb, err := sys.AttachLoadBalance(tree, SingleScope, cfg)
+		if err != nil {
+			return err
+		}
+		rec, err := sys.AttachArchive(tree, 200*time.Microsecond, ArchiveOptions{
+			Dir: dir1, SegmentBytes: 4096,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := sys.RunWorkload(Workload{Trees: []*Tree{tree}, Iterations: it1}); err != nil {
+			return err
+		}
+		// Quiesce: the live monitor observes every phase-1 round, then the
+		// archive is sealed with its final drain.
+		want1 := uint64(it1 * len(tree.Nodes))
+		for i := 0; lb.RoundsObserved() < want1; i++ {
+			if i > 5000 {
+				t.Errorf("phase 1 observed %d rounds, want %d", lb.RoundsObserved(), want1)
+				break
+			}
+			SleepOutside(100 * time.Microsecond)
+		}
+		rec.Stop()
+		if err := rec.Err(); err != nil {
+			return err
+		}
+		// The front-end "dies": its monitor and in-memory state are gone.
+		lb.Stop()
+
+		// Failover: a replacement monitor seeded from the sealed archive,
+		// plus a recorder continuing into a fresh directory.
+		lb2, st, err := sys.FailoverLoadBalance(tree, cfg, dir1)
+		if err != nil {
+			return err
+		}
+		if st.RoundsRecovered != want1 {
+			t.Errorf("failover recovered %d rounds, want %d", st.RoundsRecovered, want1)
+		}
+		if st.TuplesMatched == 0 {
+			t.Error("failover replay matched no tuples")
+		}
+		if lb2.RoundsObserved() != want1 {
+			t.Errorf("replacement starts at %d rounds, want %d", lb2.RoundsObserved(), want1)
+		}
+		// The statistics side of the handoff: a replacement statsm starts
+		// from the archive-replayed analysis tree, not from zero.
+		sm2, err := sys.FailoverStatsm(tree, cfg, st)
+		if err != nil {
+			return err
+		}
+		if len(sm2.Tree().IDs()) == 0 {
+			t.Error("failover statsm seeded with an empty analysis tree")
+		}
+		rec2, err := sys.ResumeArchive(tree, 200*time.Microsecond, ArchiveOptions{
+			Dir: dir2, SegmentBytes: 4096,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := sys.RunWorkload(Workload{Trees: []*Tree{tree}, Iterations: it2}); err != nil {
+			return err
+		}
+		want := uint64((it1 + it2) * len(tree.Nodes))
+		for i := 0; lb2.RoundsObserved() < want; i++ {
+			if i > 5000 {
+				t.Errorf("after failover observed %d rounds, want %d", lb2.RoundsObserved(), want)
+				break
+			}
+			SleepOutside(100 * time.Microsecond)
+		}
+		rec2.Stop()
+		if err := rec2.Err(); err != nil {
+			return err
+		}
+		if err := viz.WeightedTree(&liveOut, lb2.Weighted()); err != nil {
+			return err
+		}
+		sys.Close()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline: the sealed and resumed archives, fed in sequence into one
+	// replay, must reproduce the failover run's live weighted tree.
+	r1, err := OpenArchive(dir1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos, err := ReadArchiveMeta(dir1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayLastArrival(r1, infos, ArchiveQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := OpenArchive(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Scan(ArchiveQuery{}, func(tu collect.TraceTuple) bool {
+		rep.Feed(tu)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if lost := rep.Lost(); lost != 0 {
+		t.Fatalf("combined replay evicted %d rounds", lost)
+	}
+	var replayOut bytes.Buffer
+	if err := viz.WeightedTree(&replayOut, rep.Weighted()); err != nil {
+		t.Fatal(err)
+	}
+	if liveOut.String() != replayOut.String() {
+		t.Fatalf("failover run diverged from its own archive\n--- live ---\n%s--- replay ---\n%s",
 			liveOut.String(), replayOut.String())
 	}
 	if replayOut.Len() == 0 {

@@ -1,9 +1,13 @@
 // Chaos monitoring: a compute-gsum application on a LAN multi-cluster is
 // observed by a load-balance monitor hardened with retrying stubs and
-// per-child health guards. A deterministic fault plan then crashes one
-// compute host: the monitor degrades to partial coverage (reporting who
-// is missing) instead of failing, and recovers on its own once the host
-// restarts — the robustness layers of DESIGN.md's "Fault model".
+// per-child health guards. A deterministic fault plan first crashes a
+// *gateway*: the reconfig manager repairs the scope tree at runtime by
+// re-parenting the orphaned host chains, and monitoring continues through
+// the repaired paths. A second plan then crashes one compute host: the
+// monitor degrades to partial coverage (reporting who is missing) instead
+// of failing, and recovers on its own once the host restarts — the
+// robustness layers of DESIGN.md's "Fault model" and "Runtime
+// reconfiguration".
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"time"
 
 	"eventspace"
+	"eventspace/internal/viz"
 )
 
 func main() {
@@ -69,11 +74,48 @@ func main() {
 		report("healthy:")
 		fmt.Printf("rounds observed: %d, gather rate %.2f\n", lb.RoundsObserved(), lb.GatherRate())
 
-		// Phase 2: a deterministic fault plan crashes one iron host. The
+		// Phase 2: runtime tree repair. A reconfig manager subscribes to
+		// the scope's guard transitions; crashing a *gateway* orphans its
+		// whole cluster behind a dead uplink — a failure the probe/redial
+		// machinery alone cannot route around. The manager re-parents the
+		// orphaned hosts under the surviving gateway, and coverage closes
+		// without restarting anything. Gateways carry no application
+		// traffic, so the compute tree is untouched.
+		mgr, err := sys.AttachReconfig(lb, eventspace.ReconfigPolicy{})
+		if err != nil {
+			return err
+		}
+		gw := sys.Testbed().Clusters[1].Gateway()
+		net := sys.Testbed().Net
+		net.InjectFaults(eventspace.FaultPlan{
+			Events: []eventspace.FaultEvent{{Kind: eventspace.FaultCrash, Host: gw.Name()}},
+		})
+		if !waitCoverage(func(c eventspace.Coverage) bool { return c.Complete() && len(mgr.Plans()) > 0 }) {
+			return fmt.Errorf("coverage never recovered after crashing gateway %s: %+v", gw.Name(), lb.Coverage())
+		}
+		report("after gw repair:")
+
+		// Phase 3: the repaired tree keeps monitoring. Another workload
+		// burst flows through the re-parented paths.
+		before := lb.RoundsObserved()
+		if _, err := sys.RunWorkload(eventspace.Workload{
+			Trees: []*eventspace.Tree{tree}, Iterations: 200, Compute: 200 * time.Microsecond,
+		}); err != nil {
+			return err
+		}
+		for i := 0; i < 4000 && lb.RoundsObserved() == before; i++ {
+			eventspace.SleepOutside(time.Millisecond)
+		}
+		fmt.Printf("rounds observed through repaired tree: %d (was %d)\n", lb.RoundsObserved(), before)
+		viz.RepairPlans(os.Stdout, mgr.Plans())
+
+		// Phase 4: a second fault plan crashes one compute host. The
 		// monitor's pulls keep succeeding on partial data; the health
 		// guards declare the host dead and coverage reports the gap.
+		// (Crashing a compute host also resets its application-tree
+		// connections, which have no redial layer — so this is the
+		// example's final act.)
 		victim := sys.Testbed().Clusters[1].Hosts()[0]
-		net := sys.Testbed().Net
 		inj := net.InjectFaults(eventspace.FaultPlan{
 			Seed:   42,
 			Events: []eventspace.FaultEvent{{Kind: eventspace.FaultCrash, Host: victim.Name()}},
@@ -84,7 +126,7 @@ func main() {
 		report("after crash:")
 		fmt.Printf("monitor still answering: rounds observed %d\n", lb.RoundsObserved())
 
-		// Phase 3: restart the host. Backed-off probes redial, the guard
+		// Phase 5: restart the host. Backed-off probes redial, the guard
 		// recovers, and coverage closes without operator action.
 		net.ClearFaults()
 		net.InjectFaults(eventspace.FaultPlan{
@@ -103,6 +145,7 @@ func main() {
 		for _, rec := range inj.Log() {
 			fmt.Printf("fault log: t=%-8v %s %s\n", rec.At, rec.Kind, rec.Target)
 		}
+		viz.CoverageDetail(os.Stdout, lb.Coverage())
 		net.ClearFaults()
 		return nil
 	})

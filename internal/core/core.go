@@ -19,6 +19,7 @@ import (
 	"eventspace/internal/metrics"
 	"eventspace/internal/monitor"
 	"eventspace/internal/paths"
+	"eventspace/internal/reconfig"
 	"eventspace/internal/vclock"
 	"eventspace/internal/vnet"
 )
@@ -139,6 +140,73 @@ func (s *System) AttachStatsm(tree *cluster.Tree, cfg monitor.Config) (*monitor.
 	return sm, nil
 }
 
+// AttachReconfig subscribes a runtime tree-repair manager to a monitor's
+// event scope: a dead cluster gateway triggers re-parenting of its
+// orphaned hosts onto surviving gateways, or promotion of one of its own
+// members, without restarting the monitor. The monitor must have been
+// built with a HealthPolicy. The manager is stopped with the system.
+func (s *System) AttachReconfig(lb *monitor.LoadBalance, pol reconfig.Policy) (*reconfig.Manager, error) {
+	if pol.Metrics == nil {
+		pol.Metrics = s.Metrics()
+	}
+	m, err := reconfig.Attach(lb.Scope(), pol)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.monitors = append(s.monitors, m)
+	s.mu.Unlock()
+	return m, nil
+}
+
+// FailoverLoadBalance replaces a lost front-end's load-balance monitor:
+// the dead monitor's state is rebuilt deterministically from its sealed
+// trace archive (dir), and a replacement single-scope monitor seeded
+// from that state is built and started. The replacement's source
+// cursors start after the newest retained tuple and its joins ignore
+// rounds the archive already completed, so no round is lost or counted
+// twice. Call it at a workload quiesce point, after sealing the old
+// archive (ArchiveRecorder.Stop).
+func (s *System) FailoverLoadBalance(tree *cluster.Tree, cfg monitor.Config, dir string) (*monitor.LoadBalance, *reconfig.FailoverState, error) {
+	st, err := reconfig.RebuildFrontEnd(dir, s.Metrics())
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = s.Metrics()
+	}
+	lb, err := monitor.NewLoadBalanceFrom(s.tb, tree, monitor.SingleScope, cfg, s.cs, st.Resume)
+	if err != nil {
+		return nil, nil, err
+	}
+	lb.Start()
+	s.mu.Lock()
+	s.monitors = append(s.monitors, lb)
+	s.mu.Unlock()
+	return lb, st, nil
+}
+
+// FailoverStatsm is FailoverLoadBalance's statistics counterpart: a
+// replacement statistics monitor whose published analysis tree starts
+// from the archive-replayed snapshot in st.
+func (s *System) FailoverStatsm(tree *cluster.Tree, cfg monitor.Config, st *reconfig.FailoverState) (*monitor.Statsm, error) {
+	if st == nil {
+		return nil, fmt.Errorf("core: nil failover state")
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = s.Metrics()
+	}
+	sm, err := monitor.NewStatsmFrom(s.tb, tree, cfg, s.cs, st.Stats)
+	if err != nil {
+		return nil, err
+	}
+	sm.Start()
+	s.mu.Lock()
+	s.monitors = append(s.monitors, sm)
+	s.mu.Unlock()
+	return sm, nil
+}
+
 // ArchiveRecorder records a tree's raw trace tuples into a persistent
 // archive: its own event scope over every trace buffer, pulled by a
 // gather thread whose sink is the archive writer. It rides alongside
@@ -159,6 +227,20 @@ type ArchiveRecorder struct {
 // and a puller drains every event collector's trace buffer into the
 // archive every pull interval (0 pulls continuously).
 func (s *System) AttachArchive(tree *cluster.Tree, pull time.Duration, opts archive.Options) (*ArchiveRecorder, error) {
+	return s.attachArchive(tree, pull, opts, false)
+}
+
+// ResumeArchive is AttachArchive for the recorder that continues after a
+// front-end failover: its source cursors start after the newest retained
+// tuple, so tuples the sealed pre-failover archive already holds are not
+// archived again. Point opts.Dir at a fresh directory; scanning the
+// sealed and resumed archives in sequence then covers the whole run with
+// no duplicates.
+func (s *System) ResumeArchive(tree *cluster.Tree, pull time.Duration, opts archive.Options) (*ArchiveRecorder, error) {
+	return s.attachArchive(tree, pull, opts, true)
+}
+
+func (s *System) attachArchive(tree *cluster.Tree, pull time.Duration, opts archive.Options, fromEnd bool) (*ArchiveRecorder, error) {
 	if !tree.Spec.Instrument {
 		return nil, fmt.Errorf("core: archive recorder needs an instrumented tree")
 	}
@@ -181,6 +263,7 @@ func (s *System) AttachArchive(tree *cluster.Tree, pull time.Duration, opts arch
 	for _, ec := range tree.Collectors.All() {
 		spec.Sources = append(spec.Sources, escope.Source{
 			Host: ec.Host(), Elem: ec.Buffer(), RecSize: collect.TupleSize,
+			FromEnd: fromEnd,
 		})
 	}
 	scope, err := escope.Build(s.tb.Net, spec)

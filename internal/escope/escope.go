@@ -14,6 +14,12 @@
 // Gather wrappers run sequentially in the pulling thread's context, or in
 // parallel with helper threads — the paper's central performance knob
 // (sequential vs parallel rows of Tables 1-3).
+//
+// With a HealthPolicy the tree is also mutable at runtime: the scope
+// retains its topology (which member hangs off which gateway), publishes
+// guard state transitions through SetTransitionHook, and exposes the
+// repair primitives ReparentHost and PromoteGateway that the reconfig
+// manager drives when a gateway dies (see repair.go).
 package escope
 
 import (
@@ -47,6 +53,12 @@ type Source struct {
 	// gather-rate accounting still works.
 	Custom  paths.Wrapper
 	Readers []*paths.BatchReader
+	// FromEnd starts the source's cursor after the newest retained tuple
+	// instead of at the oldest: only tuples written after the build are
+	// seen. A scope rebuilt during front-end failover sets it so the
+	// resumed archive does not duplicate tuples the sealed archive
+	// already holds. Ignored for Custom sources.
+	FromEnd bool
 }
 
 // Spec describes an event scope to build.
@@ -63,8 +75,9 @@ type Spec struct {
 	// Health, when set, wraps every remote child in a health guard:
 	// transport faults degrade the gather to partial coverage instead of
 	// failing it, dead children are skipped and probed with backoff, and
-	// Scope.Coverage reports who is reporting. nil keeps the legacy
-	// fail-fast behaviour.
+	// Scope.Coverage reports who is reporting. It also makes the tree
+	// repairable: the root is always a mutable gather and the repair
+	// primitives work. nil keeps the legacy fail-fast behaviour.
 	Health *HealthPolicy
 	// Retry, when set, is applied to every remote stub in the scope
 	// (with a per-stub deterministic jitter seed) together with a
@@ -77,11 +90,38 @@ type Spec struct {
 	Metrics *metrics.Registry
 }
 
+// memberLink is one source host's attachment to its cluster gather.
+type memberLink struct {
+	host  *vnet.Host
+	entry paths.Wrapper // host-local chain below any stub
+	child paths.Wrapper // wrapper installed in the cluster gather
+	guard *guard        // leaf guard (nil when the member is the gateway itself)
+	stub  *paths.Remote // leaf stub (nil when local)
+}
+
+// clusterLink is one cluster's subtree: its gather on the (current)
+// gateway host, the front-end uplink reading it, and its members.
+type clusterLink struct {
+	name    string
+	gw      *vnet.Host
+	gather  *paths.Gather
+	uplink  paths.Wrapper // child installed in the root gather
+	uguard  *guard
+	ustub   *paths.Remote
+	members map[string]*memberLink // keyed by host name
+}
+
 // Scope is a built event scope.
 type Scope struct {
 	name    string
 	root    paths.Wrapper
 	readers []*paths.BatchReader
+
+	net       *vnet.Network
+	frontEnd  *vnet.Host
+	gwHelpers int
+	health    *HealthPolicy
+	retry     *paths.RetryPolicy
 
 	// Connection bookkeeping: the scope tracks exactly the live
 	// connections (redial replaces its stub's entry instead of
@@ -91,13 +131,28 @@ type Scope struct {
 	conns   map[*vnet.Conn]struct{}
 	closed  bool
 
-	guards     []*guard
-	coverPaths map[string][]*guard // source host name -> guards on its path
+	// Tree state below is mutable at runtime (repair); treeMu guards it.
+	treeMu       sync.Mutex
+	guards       []*guard
+	coverPaths   map[string][]*guard // source host name -> guards on its path
+	clusters     map[string]*clusterLink
+	clusterOrder []string
+	rootG        *paths.Gather   // non-nil iff health tracking is on
+	everMissing  map[string]bool // hosts that were cut off at some point
+
+	hook atomic.Pointer[func(Transition)]
 
 	pulls atomic.Uint64
 
 	met    *metrics.Registry
 	pullOp *metrics.Op
+	// Per-scope counters shared by every guard and stub, including the
+	// ones repair creates later (all nil-safe when metrics are off).
+	cHealthFaults     *metrics.Counter
+	cHealthDeaths     *metrics.Counter
+	cHealthRecoveries *metrics.Counter
+	cStubRetries      *metrics.Counter
+	cStubRedials      *metrics.Counter
 }
 
 // addConn tracks a live connection. It reports false — and closes the
@@ -138,6 +193,107 @@ func hashName(s string) uint64 {
 	return h
 }
 
+// stubTo wires a stub from -> to over a fresh connection, applying the
+// scope's retry policy (with a reconnect path) and health guard. The
+// returned guard is nil when health tracking is off. Used both at build
+// time and by the runtime repair primitives; callers on the repair path
+// hold treeMu (guard registration here touches only s.guards via the
+// caller).
+func (s *Scope) stubTo(label string, from, to *vnet.Host, entry paths.Wrapper, role GuardRole, cluster string) (paths.Wrapper, *guard, *paths.Remote) {
+	svc := paths.NewService()
+	target := svc.Register(entry)
+	conn := s.net.Dial(from, to, svc.Handler())
+	s.addConn(conn)
+	name := fmt.Sprintf("%s/stub(%s)", s.name, label)
+	stub := paths.NewRemote(name, from, conn, target)
+	if s.met != nil {
+		stub.SetMetrics(&paths.RemoteMetrics{
+			Op:      s.met.Op(metrics.KindStub, name),
+			Retries: s.cStubRetries,
+			Redials: s.cStubRedials,
+		})
+	}
+	if s.retry != nil {
+		pol := *s.retry
+		if pol.JitterSeed == 0 {
+			pol.JitterSeed = hashName(name)
+		}
+		stub.SetRetry(&pol)
+		stub.SetRedial(func(stale vnet.Caller) (vnet.Caller, uint32, error) {
+			nc := s.net.Dial(from, to, svc.Handler())
+			if !s.addConn(nc) {
+				return nil, 0, fmt.Errorf("escope: %s: scope closed", s.name)
+			}
+			if oc, ok := stale.(*vnet.Conn); ok {
+				s.dropConn(oc)
+			}
+			return nc, target, nil
+		})
+	}
+	if s.health == nil {
+		return stub, nil, stub
+	}
+	g := newGuard(name+"!guard", to.Name(), from, stub, s.health)
+	g.role, g.cluster = role, cluster
+	g.mFaults, g.mDeaths, g.mRecoveries = s.cHealthFaults, s.cHealthDeaths, s.cHealthRecoveries
+	g.notify = func(tr Transition) { s.dispatch(g, tr) }
+	return g, g, stub
+}
+
+// dispatch fans a guard transition out: hosts whose cover path includes
+// the now-dead guard are marked as having been missing (feeding
+// Coverage.Recovered), then the installed hook — the reconfig manager's
+// event queue — receives the transition.
+func (s *Scope) dispatch(g *guard, tr Transition) {
+	if tr.To == Dead {
+		s.treeMu.Lock()
+		for host, path := range s.coverPaths {
+			for _, pg := range path {
+				if pg == g {
+					s.everMissing[host] = true
+					break
+				}
+			}
+		}
+		s.treeMu.Unlock()
+	}
+	if h := s.hook.Load(); h != nil {
+		(*h)(tr)
+	}
+}
+
+// SetTransitionHook installs (or, with nil, removes) the function that
+// receives every guard state transition. The hook runs in the pulling
+// goroutine's context and must not block; the reconfig manager pushes
+// into a clock-aware queue.
+func (s *Scope) SetTransitionHook(fn func(Transition)) {
+	if fn == nil {
+		s.hook.Store(nil)
+		return
+	}
+	s.hook.Store(&fn)
+}
+
+// instrumentGather wires a gather into the self-metrics registry (no-op
+// when metrics are off).
+func (s *Scope) instrumentGather(g *paths.Gather, err error) (*paths.Gather, error) {
+	if err == nil && s.met != nil {
+		g.SetMetrics(s.met.Op(metrics.KindGather, g.Name()))
+	}
+	return g, err
+}
+
+// pathOf filters the nil guards out of a gather path.
+func pathOf(gs ...*guard) []*guard {
+	var out []*guard
+	for _, g := range gs {
+		if g != nil {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
 // Build wires the event scope described by spec over net.
 func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 	if spec.FrontEnd == nil {
@@ -147,65 +303,26 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 		return nil, fmt.Errorf("escope: %q: no sources", spec.Name)
 	}
 	s := &Scope{
-		name:       spec.Name,
-		conns:      make(map[*vnet.Conn]struct{}),
-		coverPaths: make(map[string][]*guard),
-		met:        spec.Metrics,
+		name:        spec.Name,
+		net:         net,
+		frontEnd:    spec.FrontEnd,
+		gwHelpers:   spec.GatewayHelpers,
+		health:      spec.Health,
+		retry:       spec.Retry,
+		conns:       make(map[*vnet.Conn]struct{}),
+		coverPaths:  make(map[string][]*guard),
+		clusters:    make(map[string]*clusterLink),
+		everMissing: make(map[string]bool),
+		met:         spec.Metrics,
 	}
 	if s.met != nil {
 		s.pullOp = s.met.Op(metrics.KindScopePull, spec.Name)
 	}
-
-	// Per-scope health-transition counters, shared by every guard (all
-	// nil-safe when metrics are off).
-	healthFaults := s.met.Counter(spec.Name + "/health.faults")
-	healthDeaths := s.met.Counter(spec.Name + "/health.deaths")
-	healthRecoveries := s.met.Counter(spec.Name + "/health.recoveries")
-	stubRetries := s.met.Counter(spec.Name + "/stub.retries")
-	stubRedials := s.met.Counter(spec.Name + "/stub.redials")
-
-	// stubTo wires a stub from -> to over a fresh connection, applying
-	// the spec's retry policy (with a reconnect path) and health guard.
-	// The returned guard is nil when health tracking is off.
-	stubTo := func(label string, from, to *vnet.Host, entry paths.Wrapper) (paths.Wrapper, *guard) {
-		svc := paths.NewService()
-		target := svc.Register(entry)
-		conn := net.Dial(from, to, svc.Handler())
-		s.addConn(conn)
-		name := fmt.Sprintf("%s/stub(%s)", spec.Name, label)
-		stub := paths.NewRemote(name, from, conn, target)
-		if s.met != nil {
-			stub.SetMetrics(&paths.RemoteMetrics{
-				Op:      s.met.Op(metrics.KindStub, name),
-				Retries: stubRetries,
-				Redials: stubRedials,
-			})
-		}
-		if spec.Retry != nil {
-			pol := *spec.Retry
-			if pol.JitterSeed == 0 {
-				pol.JitterSeed = hashName(name)
-			}
-			stub.SetRetry(&pol)
-			stub.SetRedial(func(stale vnet.Caller) (vnet.Caller, uint32, error) {
-				nc := net.Dial(from, to, svc.Handler())
-				if !s.addConn(nc) {
-					return nil, 0, fmt.Errorf("escope: %s: scope closed", spec.Name)
-				}
-				if oc, ok := stale.(*vnet.Conn); ok {
-					s.dropConn(oc)
-				}
-				return nc, target, nil
-			})
-		}
-		if spec.Health == nil {
-			return stub, nil
-		}
-		g := newGuard(name+"!guard", to.Name(), from, stub, spec.Health)
-		g.mFaults, g.mDeaths, g.mRecoveries = healthFaults, healthDeaths, healthRecoveries
-		s.guards = append(s.guards, g)
-		return g, g
-	}
+	s.cHealthFaults = s.met.Counter(spec.Name + "/health.faults")
+	s.cHealthDeaths = s.met.Counter(spec.Name + "/health.deaths")
+	s.cHealthRecoveries = s.met.Counter(spec.Name + "/health.recoveries")
+	s.cStubRetries = s.met.Counter(spec.Name + "/stub.retries")
+	s.cStubRedials = s.met.Counter(spec.Name + "/stub.redials")
 
 	// Per-host chains: reader (+ transform), grouped by host.
 	type hostChains struct {
@@ -226,7 +343,11 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 			if src.RecSize <= 0 {
 				return nil, fmt.Errorf("escope: %q: source %d: record size %d", spec.Name, i, src.RecSize)
 			}
-			rd := paths.NewBatchReader(
+			newReader := paths.NewBatchReader
+			if src.FromEnd {
+				newReader = paths.NewBatchReaderAtEnd
+			}
+			rd := newReader(
 				fmt.Sprintf("%s/rd%d(%s)", spec.Name, i, src.Elem.Name()),
 				src.Host, src.Elem, src.RecSize, src.BatchCap)
 			if s.met != nil {
@@ -273,71 +394,62 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 		cg.hosts = append(cg.hosts, hc)
 	}
 
-	// instrumentGather wires a fresh gather into the self-metrics
-	// registry (no-op when metrics are off).
-	instrumentGather := func(g *paths.Gather, err error) (*paths.Gather, error) {
-		if err == nil && s.met != nil {
-			g.SetMetrics(s.met.Op(metrics.KindGather, g.Name()))
-		}
-		return g, err
-	}
-
 	// hostEntry builds the single wrapper representing one host's
 	// sources: the chain itself, or a local gather joining several.
 	hostEntry := func(hc *hostChains) (paths.Wrapper, error) {
 		if len(hc.chains) == 1 {
 			return hc.chains[0], nil
 		}
-		return instrumentGather(paths.NewGather(
+		return s.instrumentGather(paths.NewGather(
 			fmt.Sprintf("%s/hostgather(%s)", spec.Name, hc.host.Name()),
 			hc.host, hc.chains, 0))
-	}
-
-	// pathOf filters the nil guards out of a gather path.
-	pathOf := func(gs ...*guard) []*guard {
-		var out []*guard
-		for _, g := range gs {
-			if g != nil {
-				out = append(out, g)
-			}
-		}
-		return out
 	}
 
 	var rootChildren []paths.Wrapper
 	for _, cl := range clusterOrder {
 		cg := byCluster[cl]
 		gw := cl.Gateway()
+		link := &clusterLink{name: cl.Name(), gw: gw, members: make(map[string]*memberLink)}
 		var gwChildren []paths.Wrapper
-		gwGuards := make(map[*vnet.Host]*guard)
 		for _, hc := range cg.hosts {
 			entry, err := hostEntry(hc)
 			if err != nil {
 				return nil, err
 			}
+			m := &memberLink{host: hc.host, entry: entry}
 			if hc.host == gw {
-				gwChildren = append(gwChildren, entry)
-				continue
+				m.child = entry
+			} else {
+				// The gateway reads the host over its own connection.
+				m.child, m.guard, m.stub = s.stubTo(
+					fmt.Sprintf("%s->%s", gw.Name(), hc.host.Name()),
+					gw, hc.host, entry, RoleLeaf, cl.Name())
+				if m.guard != nil {
+					s.guards = append(s.guards, m.guard)
+				}
 			}
-			// The gateway reads the host over its own connection.
-			child, g := stubTo(
-				fmt.Sprintf("%s->%s", gw.Name(), hc.host.Name()),
-				gw, hc.host, entry)
-			gwGuards[hc.host] = g
-			gwChildren = append(gwChildren, child)
+			gwChildren = append(gwChildren, m.child)
+			link.members[hc.host.Name()] = m
 		}
-		gwGather, err := instrumentGather(paths.NewGather(
+		gwGather, err := s.instrumentGather(paths.NewGather(
 			fmt.Sprintf("%s/gwgather(%s)", spec.Name, cl.Name()),
 			gw, gwChildren, spec.GatewayHelpers))
 		if err != nil {
 			return nil, err
 		}
+		link.gather = gwGather
 		// The front-end reads the gateway gather over a connection.
-		child, feG := stubTo(fmt.Sprintf("fe->%s", gw.Name()), spec.FrontEnd, gw, gwGather)
-		rootChildren = append(rootChildren, child)
-		for _, hc := range cg.hosts {
-			s.coverPaths[hc.host.Name()] = pathOf(feG, gwGuards[hc.host])
+		link.uplink, link.uguard, link.ustub = s.stubTo(
+			fmt.Sprintf("fe->%s", gw.Name()), spec.FrontEnd, gw, gwGather, RoleUplink, cl.Name())
+		if link.uguard != nil {
+			s.guards = append(s.guards, link.uguard)
 		}
+		rootChildren = append(rootChildren, link.uplink)
+		for _, m := range link.members {
+			s.coverPaths[m.host.Name()] = pathOf(link.uguard, m.guard)
+		}
+		s.clusters[link.name] = link
+		s.clusterOrder = append(s.clusterOrder, link.name)
 	}
 	for _, hc := range direct {
 		entry, err := hostEntry(hc)
@@ -349,20 +461,30 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 			rootChildren = append(rootChildren, entry)
 			continue
 		}
-		child, g := stubTo(fmt.Sprintf("fe->%s", hc.host.Name()), spec.FrontEnd, hc.host, entry)
+		child, g, _ := s.stubTo(fmt.Sprintf("fe->%s", hc.host.Name()), spec.FrontEnd, hc.host, entry, RoleDirect, "")
+		if g != nil {
+			s.guards = append(s.guards, g)
+		}
 		s.coverPaths[hc.host.Name()] = pathOf(g)
 		rootChildren = append(rootChildren, child)
 	}
 
-	if len(rootChildren) == 1 {
+	// With health tracking on, the root is always a gather — repair
+	// needs a mutable root child set even when the scope starts with a
+	// single cluster. Without it, a single child is the root directly
+	// (the legacy shape, one less wrapper on the pull path).
+	if spec.Health == nil && len(rootChildren) == 1 {
 		s.root = rootChildren[0]
 		return s, nil
 	}
-	root, err := instrumentGather(paths.NewGather(spec.Name+"/root", spec.FrontEnd, rootChildren, spec.RootHelpers))
+	root, err := s.instrumentGather(paths.NewGather(spec.Name+"/root", spec.FrontEnd, rootChildren, spec.RootHelpers))
 	if err != nil {
 		return nil, err
 	}
 	s.root = root
+	if spec.Health != nil {
+		s.rootG = root
+	}
 	return s, nil
 }
 
@@ -371,6 +493,9 @@ func (s *Scope) Name() string { return s.name }
 
 // Root returns the scope's root wrapper (on the front-end).
 func (s *Scope) Root() paths.Wrapper { return s.root }
+
+// FrontEnd returns the host the scope gathers to.
+func (s *Scope) FrontEnd() *vnet.Host { return s.frontEnd }
 
 // Readers returns the scope's source readers, for accounting.
 func (s *Scope) Readers() []*paths.BatchReader { return s.readers }
@@ -412,11 +537,14 @@ func (s *Scope) GatherRate() float64 {
 // is dead. Without a HealthPolicy every host always reports (faults fail
 // the pull instead).
 func (s *Scope) Coverage() Coverage {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
 	cov := Coverage{Expected: len(s.coverPaths)}
 	now := hrtime.Now()
 	var oldest hrtime.Stamp = -1
 	for host, path := range s.coverPaths {
 		dead := false
+		var heard hrtime.Stamp = -1
 		for _, g := range path {
 			snap := g.snapshot()
 			if snap.State == Dead {
@@ -425,14 +553,32 @@ func (s *Scope) Coverage() Coverage {
 			// Only guards that have succeeded at least once contribute to
 			// staleness: an unproven guard's LastOK is its build time, and
 			// folding that in would pin staleness to the age of the scope.
-			if snap.Proven && (oldest < 0 || snap.LastOK < oldest) {
-				oldest = snap.LastOK
+			if snap.Proven {
+				if oldest < 0 || snap.LastOK < oldest {
+					oldest = snap.LastOK
+				}
+				// A host's last-heard is the weakest link on its path.
+				if heard < 0 || snap.LastOK < heard {
+					heard = snap.LastOK
+				}
+			} else {
+				heard = -1
+				break
 			}
+		}
+		if len(path) > 0 && heard >= 0 {
+			if cov.LastHeard == nil {
+				cov.LastHeard = make(map[string]hrtime.Stamp)
+			}
+			cov.LastHeard[host] = heard
 		}
 		if dead {
 			cov.Missing = append(cov.Missing, host)
 		} else {
 			cov.Reporting++
+			if s.everMissing[host] {
+				cov.Recovered++
+			}
 		}
 	}
 	sort.Strings(cov.Missing)
@@ -444,8 +590,11 @@ func (s *Scope) Coverage() Coverage {
 
 // Health returns a snapshot of every guarded child in the scope.
 func (s *Scope) Health() []ChildHealth {
-	out := make([]ChildHealth, 0, len(s.guards))
-	for _, g := range s.guards {
+	s.treeMu.Lock()
+	guards := append([]*guard(nil), s.guards...)
+	s.treeMu.Unlock()
+	out := make([]ChildHealth, 0, len(guards))
+	for _, g := range guards {
 		out = append(out, g.snapshot())
 	}
 	return out

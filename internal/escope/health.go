@@ -48,6 +48,47 @@ func (s ChildState) String() string {
 	return fmt.Sprintf("ChildState(%d)", int(s))
 }
 
+// GuardRole says where in the scope tree a guarded link sits — the
+// repair planner treats a dead cluster uplink very differently from a
+// dead leaf host.
+type GuardRole int
+
+const (
+	// RoleLeaf guards a gateway -> compute-host link inside a cluster.
+	RoleLeaf GuardRole = iota
+	// RoleUplink guards the front-end -> cluster-gateway link; its death
+	// orphans the whole cluster.
+	RoleUplink
+	// RoleDirect guards a front-end -> standalone-host link.
+	RoleDirect
+)
+
+func (r GuardRole) String() string {
+	switch r {
+	case RoleLeaf:
+		return "leaf"
+	case RoleUplink:
+		return "uplink"
+	case RoleDirect:
+		return "direct"
+	}
+	return fmt.Sprintf("GuardRole(%d)", int(r))
+}
+
+// Transition is one guard state change, delivered to the scope's
+// transition hook (SetTransitionHook). Stamps are modelled time, so a
+// chaos run under the virtual clock emits a deterministic transition
+// sequence.
+type Transition struct {
+	Guard   string // guard name
+	Target  string // host (or gateway) the guarded link leads to
+	Role    GuardRole
+	Cluster string // cluster the link belongs to ("" for direct links)
+	From    ChildState
+	To      ChildState
+	At      hrtime.Stamp
+}
+
 // HealthPolicy configures per-child health tracking in a scope.
 type HealthPolicy struct {
 	// DeadAfter is the number of consecutive transport faults that moves
@@ -85,9 +126,12 @@ func (p *HealthPolicy) probeMax() time.Duration {
 type ChildHealth struct {
 	Name       string // guarded child's wrapper name
 	Target     string // host (or gateway) the child leads to
+	Role       GuardRole
+	Cluster    string // cluster the guarded link belongs to ("" for direct)
 	State      ChildState
 	Fails      int          // consecutive transport faults
 	LastOK     hrtime.Stamp // last successful operation
+	NextProbe  hrtime.Stamp // next scheduled probe while dead (jittered)
 	Proven     bool         // at least one operation ever succeeded
 	Skips      uint64       // operations skipped while dead
 	Faults     uint64       // total transport faults absorbed
@@ -99,11 +143,25 @@ type ChildHealth struct {
 // of an error so the enclosing gather proceeds with partial coverage.
 // Application errors pass through untouched.
 type guard struct {
-	name   string
-	host   *vnet.Host
-	target string
-	child  paths.Wrapper
-	policy *HealthPolicy
+	name    string
+	host    *vnet.Host
+	target  string
+	role    GuardRole
+	cluster string
+	child   paths.Wrapper
+	policy  *HealthPolicy
+
+	// jitterSeed de-correlates this guard's probe schedule from its
+	// siblings': a whole cluster dying at once must not produce a
+	// synchronized probe storm. probeStep advances per scheduled probe
+	// so consecutive waits draw fresh jitter.
+	jitterSeed uint64
+	probeStep  uint64
+
+	// notify, when set, receives every state transition (after the
+	// guard's own lock is released). The scope installs its dispatcher
+	// here at build time.
+	notify func(Transition)
 
 	mu        sync.Mutex
 	state     ChildState
@@ -125,12 +183,33 @@ type guard struct {
 
 func newGuard(name, target string, host *vnet.Host, child paths.Wrapper, policy *HealthPolicy) *guard {
 	return &guard{
-		name:   name,
-		host:   host,
-		target: target,
-		child:  child,
-		policy: policy,
-		lastOK: hrtime.Now(),
+		name:       name,
+		host:       host,
+		target:     target,
+		child:      child,
+		policy:     policy,
+		jitterSeed: hashName(name),
+		lastOK:     hrtime.Now(),
+	}
+}
+
+// transition builds the event for a state change; caller holds g.mu.
+func (g *guard) transitionLocked(from, to ChildState) Transition {
+	return Transition{
+		Guard:   g.name,
+		Target:  g.target,
+		Role:    g.role,
+		Cluster: g.cluster,
+		From:    from,
+		To:      to,
+		At:      hrtime.Now(),
+	}
+}
+
+// fire delivers a transition to the scope's dispatcher, outside g.mu.
+func (g *guard) fire(tr Transition, changed bool) {
+	if changed && g.notify != nil {
+		g.notify(tr)
 	}
 }
 
@@ -150,7 +229,7 @@ func (g *guard) shouldAttempt() bool {
 		return false
 	}
 	// Claim this probe slot; concurrent pulls skip until it resolves.
-	g.nextProbe = now + hrtime.Stamp(g.probeWaitLocked())
+	g.nextProbe = now + hrtime.Stamp(g.jitteredWaitLocked())
 	return true
 }
 
@@ -161,34 +240,45 @@ func (g *guard) probeWaitLocked() time.Duration {
 	return g.probeWait
 }
 
+// jitteredWaitLocked draws the next probe wait: the current backoff wait
+// scaled by a deterministic per-guard jitter factor in [0.5, 1.0), a
+// fresh draw per probe. Caller holds g.mu.
+func (g *guard) jitteredWaitLocked() time.Duration {
+	g.probeStep++
+	return paths.Jitter(g.jitterSeed, g.probeStep, g.probeWaitLocked())
+}
+
 func (g *guard) noteSuccess() {
 	g.mu.Lock()
-	recovered := g.state == Dead
+	from := g.state
+	recovered := from == Dead
 	g.state = Alive
 	g.fails = 0
 	g.probeWait = 0
 	g.lastOK = hrtime.Now()
 	g.proven = true
+	tr := g.transitionLocked(from, Alive)
 	g.mu.Unlock()
 	if recovered {
 		g.recoveries.Add(1)
 		g.mRecoveries.Inc()
 	}
+	g.fire(tr, from != Alive)
 }
 
 func (g *guard) noteFault() {
 	g.faults.Add(1)
 	g.mFaults.Inc()
 	g.mu.Lock()
+	from := g.state
 	g.fails++
 	if g.fails >= g.policy.deadAfter() {
 		if g.state != Dead {
 			g.mDeaths.Inc()
 		}
 		g.state = Dead
-		wait := g.probeWaitLocked()
-		g.nextProbe = hrtime.Now() + hrtime.Stamp(wait)
-		if next := wait * 2; next <= g.policy.probeMax() {
+		g.nextProbe = hrtime.Now() + hrtime.Stamp(g.jitteredWaitLocked())
+		if next := g.probeWait * 2; next <= g.policy.probeMax() {
 			g.probeWait = next
 		} else {
 			g.probeWait = g.policy.probeMax()
@@ -196,7 +286,10 @@ func (g *guard) noteFault() {
 	} else {
 		g.state = Suspect
 	}
+	to := g.state
+	tr := g.transitionLocked(from, to)
 	g.mu.Unlock()
+	g.fire(tr, from != to)
 }
 
 // Op forwards to the child unless it is dead and not due for a probe.
@@ -229,12 +322,15 @@ func (g *guard) State() ChildState {
 func (g *guard) snapshot() ChildHealth {
 	g.mu.Lock()
 	h := ChildHealth{
-		Name:   g.name,
-		Target: g.target,
-		State:  g.state,
-		Fails:  g.fails,
-		LastOK: g.lastOK,
-		Proven: g.proven,
+		Name:      g.name,
+		Target:    g.target,
+		Role:      g.role,
+		Cluster:   g.cluster,
+		State:     g.state,
+		Fails:     g.fails,
+		LastOK:    g.lastOK,
+		NextProbe: g.nextProbe,
+		Proven:    g.proven,
 	}
 	g.mu.Unlock()
 	h.Skips = g.skips.Load()
@@ -252,8 +348,17 @@ type Coverage struct {
 	// Reporting is how many of them have no dead guard on their gather
 	// path.
 	Reporting int
+	// Recovered is how many reporting hosts were cut off at some point
+	// in the scope's life (a guard on their path died, or they were
+	// repaired onto a new parent) and are reporting again.
+	Recovered int
 	// Missing names the hosts currently cut off, sorted.
 	Missing []string
+	// LastHeard maps each source host to the stamp of the last
+	// successful gather over its path (hosts whose path was never proven
+	// are absent). For a host behind a gateway this is the older of the
+	// uplink and leaf link successes — the bottleneck of its path.
+	LastHeard map[string]hrtime.Stamp
 	// Staleness is the age of the oldest last-successful gather over all
 	// guarded paths (zero when the scope has no guards).
 	Staleness time.Duration

@@ -1,0 +1,271 @@
+// Runtime tree repair primitives. A scope built with a HealthPolicy
+// retains its topology (clusterLink/memberLink in escope.go) and exposes
+// two mutations the reconfig manager composes into repair plans:
+//
+//   - ReparentHost moves one compute host's subtree under another
+//     cluster's gateway gather (used when a gateway dies and surviving
+//     gateways have fan-in to spare).
+//   - PromoteGateway rebuilds a cluster's gather on one of its own
+//     member hosts (used when a cluster is orphaned and no other gateway
+//     can absorb its members).
+//
+// Both run under treeMu, swap children into the live gathers with
+// copy-on-write (in-flight pulls keep their snapshot), and tear down the
+// replaced stubs through the scope's connection tracking. All waiting is
+// modelled time, so a repair sequence is deterministic under the virtual
+// clock.
+package escope
+
+import (
+	"fmt"
+	"sort"
+
+	"eventspace/internal/paths"
+	"eventspace/internal/vnet"
+)
+
+// MemberHealth is one cluster member's view in Topology.
+type MemberHealth struct {
+	Host string
+	// Local marks the member whose chain runs on the gateway host itself
+	// (no guarded link of its own).
+	Local bool
+	// State/Proven mirror the member's leaf guard. For a Local member
+	// they mirror the cluster uplink instead. Note the states reflect the
+	// last gather that reached the gateway: after an uplink death the
+	// leaf states are the pre-crash ones — exactly the information a
+	// repair planner has to work with.
+	State  ChildState
+	Proven bool
+}
+
+// ClusterTopology is one cluster subtree's view in Topology.
+type ClusterTopology struct {
+	Name         string
+	Gateway      string // current gather host (may be a promoted member)
+	UplinkState  ChildState
+	UplinkProven bool
+	Members      []MemberHealth // sorted by host name
+}
+
+// Topology snapshots the scope's cluster subtrees for repair planning,
+// in build order. Scopes without a HealthPolicy return nil.
+func (s *Scope) Topology() []ClusterTopology {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
+	if s.rootG == nil {
+		return nil
+	}
+	out := make([]ClusterTopology, 0, len(s.clusterOrder))
+	for _, name := range s.clusterOrder {
+		cl := s.clusters[name]
+		usnap := cl.uguard.snapshot()
+		ct := ClusterTopology{
+			Name:         cl.name,
+			Gateway:      cl.gw.Name(),
+			UplinkState:  usnap.State,
+			UplinkProven: usnap.Proven,
+		}
+		for _, m := range cl.members {
+			mh := MemberHealth{Host: m.host.Name()}
+			if m.guard == nil {
+				mh.Local = true
+				mh.State, mh.Proven = usnap.State, usnap.Proven
+			} else {
+				snap := m.guard.snapshot()
+				mh.State, mh.Proven = snap.State, snap.Proven
+			}
+			ct.Members = append(ct.Members, mh)
+		}
+		sort.Slice(ct.Members, func(i, j int) bool { return ct.Members[i].Host < ct.Members[j].Host })
+		out = append(out, ct)
+	}
+	return out
+}
+
+// removeGuardLocked drops g from the scope's guard list. Caller holds
+// treeMu.
+func (s *Scope) removeGuardLocked(g *guard) {
+	for i, sg := range s.guards {
+		if sg == g {
+			s.guards = append(s.guards[:i], s.guards[i+1:]...)
+			return
+		}
+	}
+}
+
+// teardownLinkLocked retires a guarded stub: the guard leaves the health
+// list and the stub's (possibly redialled) connection is untracked and
+// closed. Caller holds treeMu.
+func (s *Scope) teardownLinkLocked(g *guard, stub *paths.Remote) {
+	if g != nil {
+		s.removeGuardLocked(g)
+	}
+	if stub != nil {
+		if c, ok := stub.Caller().(*vnet.Conn); ok {
+			s.dropConn(c)
+		}
+		stub.Close()
+	}
+}
+
+// removeClusterLocked dissolves an empty cluster subtree: its uplink
+// leaves the root gather and is torn down. Caller holds treeMu.
+func (s *Scope) removeClusterLocked(cl *clusterLink) {
+	s.rootG.RemoveChild(cl.uplink)
+	s.teardownLinkLocked(cl.uguard, cl.ustub)
+	delete(s.clusters, cl.name)
+	for i, n := range s.clusterOrder {
+		if n == cl.name {
+			s.clusterOrder = append(s.clusterOrder[:i], s.clusterOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// ReparentHost moves host's subtree from its current cluster gather to
+// toCluster's: a fresh guarded stub from toCluster's gateway to the host
+// joins the target gather, then the old link is removed and torn down.
+// The source cluster is dissolved once its last member leaves. The
+// host's source cursors live on the host itself, so the first gather
+// over the new path resumes exactly where the old path stopped.
+func (s *Scope) ReparentHost(host, toCluster string) error {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
+	if s.rootG == nil {
+		return fmt.Errorf("escope: %s: no health tracking, tree is not repairable", s.name)
+	}
+	toCL, ok := s.clusters[toCluster]
+	if !ok {
+		return fmt.Errorf("escope: %s: reparent %s: unknown target cluster %q", s.name, host, toCluster)
+	}
+	var srcCL *clusterLink
+	var m *memberLink
+	for _, name := range s.clusterOrder {
+		cl := s.clusters[name]
+		if mm, ok := cl.members[host]; ok {
+			srcCL, m = cl, mm
+			break
+		}
+	}
+	if m == nil {
+		return fmt.Errorf("escope: %s: reparent: host %q not in any cluster", s.name, host)
+	}
+	if srcCL == toCL {
+		return fmt.Errorf("escope: %s: reparent %s: already in cluster %q", s.name, host, toCluster)
+	}
+	if m.guard == nil {
+		return fmt.Errorf("escope: %s: reparent %s: member is local to its gateway; promote instead", s.name, host)
+	}
+
+	child, g, stub := s.stubTo(
+		fmt.Sprintf("%s->%s", toCL.gw.Name(), host),
+		toCL.gw, m.host, m.entry, RoleLeaf, toCL.name)
+	toCL.gather.AddChild(child)
+	srcCL.gather.RemoveChild(m.child)
+	s.teardownLinkLocked(m.guard, m.stub)
+	delete(srcCL.members, host)
+
+	nm := &memberLink{host: m.host, entry: m.entry, child: child, guard: g, stub: stub}
+	toCL.members[host] = nm
+	if g != nil {
+		s.guards = append(s.guards, g)
+	}
+	s.coverPaths[host] = pathOf(toCL.uguard, g)
+	s.everMissing[host] = true
+	if len(srcCL.members) == 0 {
+		s.removeClusterLocked(srcCL)
+	}
+	return nil
+}
+
+// PromoteGateway rebuilds cluster's gather on member host newGW: the
+// promoted member's chain attaches locally, every other member gets a
+// fresh guarded stub from the new gather host, a fresh uplink replaces
+// the old one in the root gather, and all the old links are torn down.
+// Used when the original gateway host dies and the cluster must keep
+// gathering without it.
+func (s *Scope) PromoteGateway(cluster, newGW string) error {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
+	if s.rootG == nil {
+		return fmt.Errorf("escope: %s: no health tracking, tree is not repairable", s.name)
+	}
+	cl, ok := s.clusters[cluster]
+	if !ok {
+		return fmt.Errorf("escope: %s: promote: unknown cluster %q", s.name, cluster)
+	}
+	pm, ok := cl.members[newGW]
+	if !ok {
+		return fmt.Errorf("escope: %s: promote: host %q not a member of cluster %q", s.name, newGW, cluster)
+	}
+	if pm.guard == nil {
+		return fmt.Errorf("escope: %s: promote: %q already hosts cluster %q's gather", s.name, newGW, cluster)
+	}
+
+	// Deterministic member order for the rebuilt gather.
+	names := make([]string, 0, len(cl.members))
+	for name := range cl.members {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	type newLink struct {
+		m     *memberLink
+		child paths.Wrapper
+		guard *guard
+		stub  *paths.Remote
+	}
+	links := make([]newLink, 0, len(names))
+	children := make([]paths.Wrapper, 0, len(names))
+	for _, name := range names {
+		m := cl.members[name]
+		nl := newLink{m: m}
+		if m == pm {
+			nl.child = m.entry // local on the new gather host
+		} else {
+			nl.child, nl.guard, nl.stub = s.stubTo(
+				fmt.Sprintf("%s->%s", pm.host.Name(), name),
+				pm.host, m.host, m.entry, RoleLeaf, cluster)
+		}
+		links = append(links, nl)
+		children = append(children, nl.child)
+	}
+	gather, err := s.instrumentGather(paths.NewGather(
+		fmt.Sprintf("%s/gwgather(%s)@%s", s.name, cluster, newGW),
+		pm.host, children, s.gwHelpers))
+	if err != nil {
+		return err
+	}
+	uplink, uguard, ustub := s.stubTo(
+		fmt.Sprintf("fe->%s", pm.host.Name()), s.frontEnd, pm.host, gather, RoleUplink, cluster)
+	if !s.rootG.ReplaceChild(cl.uplink, uplink) {
+		// Should be unreachable: cl.uplink came from this root.
+		s.rootG.AddChild(uplink)
+	}
+
+	// Tear down the orphaned links: the old uplink and every old leaf
+	// stub (they ran from the dead gateway).
+	s.teardownLinkLocked(cl.uguard, cl.ustub)
+	for _, nl := range links {
+		if nl.m.guard != nil {
+			s.teardownLinkLocked(nl.m.guard, nl.m.stub)
+		}
+		nl.m.child, nl.m.guard, nl.m.stub = nl.child, nl.guard, nl.stub
+	}
+
+	cl.gw = pm.host
+	cl.gather = gather
+	cl.uplink, cl.uguard, cl.ustub = uplink, uguard, ustub
+	if uguard != nil {
+		s.guards = append(s.guards, uguard)
+	}
+	for _, nl := range links {
+		if nl.guard != nil {
+			s.guards = append(s.guards, nl.guard)
+		}
+		s.coverPaths[nl.m.host.Name()] = pathOf(uguard, nl.guard)
+		s.everMissing[nl.m.host.Name()] = true
+	}
+	return nil
+}

@@ -52,6 +52,11 @@ const (
 	// writer side, segment scans on the reader side; bytes are the
 	// segment bytes moved.
 	KindArchive
+	// KindReconfig measures runtime tree-repair operations: re-parenting
+	// an orphaned host, promoting a replacement gateway, and rebuilding
+	// front-end monitor state from the archive on failover. The
+	// histogram is the repair latency distribution.
+	KindReconfig
 	numKinds
 )
 
@@ -70,6 +75,8 @@ func (k Kind) String() string {
 		return "scope-pull"
 	case KindArchive:
 		return "archive"
+	case KindReconfig:
+		return "reconfig"
 	default:
 		return "kind(?)"
 	}

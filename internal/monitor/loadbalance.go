@@ -26,6 +26,12 @@ type lbJoin struct {
 	pending    map[uint32]map[int]collect.TraceTuple
 	order      []uint32
 	lost       uint64
+	// floor drops tuples of rounds already completed before a front-end
+	// failover: a replay-seeded join ignores Seq <= floor so re-read
+	// tuples cannot double-count a finished round. maxDone tracks the
+	// highest completed Seq and becomes the next failover's floor.
+	floor   uint32
+	maxDone uint32
 }
 
 func newLBJoin(k int) *lbJoin {
@@ -35,6 +41,9 @@ func newLBJoin(k int) *lbJoin {
 // add feeds a contributor tuple; when the round completes it returns the
 // last-arriving contributor and true.
 func (j *lbJoin) add(contributor int, t collect.TraceTuple) (int, bool) {
+	if j.floor > 0 && t.Seq <= j.floor {
+		return 0, false
+	}
 	m, ok := j.pending[t.Seq]
 	if !ok {
 		m = make(map[int]collect.TraceTuple, j.k)
@@ -57,6 +66,9 @@ func (j *lbJoin) add(contributor int, t collect.TraceTuple) (int, bool) {
 		return 0, false
 	}
 	delete(j.pending, t.Seq)
+	if t.Seq > j.maxDone {
+		j.maxDone = t.Seq
+	}
 	last, lastStart := -1, int64(-1)
 	for c, tu := range m {
 		if tu.Start > lastStart || (tu.Start == lastStart && c > last) {
@@ -94,6 +106,13 @@ type LoadBalance struct {
 	tree *cluster.Tree
 	fe   *vnet.Host
 
+	// Failover seeding (NewLoadBalanceFrom): source readers start at the
+	// end of the retained windows and joins drop rounds at or below the
+	// handoff floors, so the replacement monitor continues instead of
+	// recounting.
+	fromEnd bool
+	floors  map[string]uint32
+
 	scope    *escope.Scope
 	puller   *escope.Puller
 	weighted *WeightedTree
@@ -130,10 +149,18 @@ type lbNodeState struct {
 // cs may be nil (no coscheduling); when set, it must be the same set wired
 // into the tree's notifier.
 func NewLoadBalance(tb *cluster.Testbed, tree *cluster.Tree, mode LoadBalanceMode, cfg Config, cs *cosched.Set) (*LoadBalance, error) {
+	return newLoadBalance(tb, tree, mode, cfg, cs, nil)
+}
+
+// newLoadBalance is the shared constructor; a non-nil floors map marks a
+// failover resume (readers from the end, joins floored per node).
+func newLoadBalance(tb *cluster.Testbed, tree *cluster.Tree, mode LoadBalanceMode, cfg Config, cs *cosched.Set, floors map[string]uint32) (*LoadBalance, error) {
 	if !tree.Spec.Instrument {
 		return nil, fmt.Errorf("monitor: load balance needs an instrumented tree")
 	}
 	lb := &LoadBalance{
+		fromEnd:  floors != nil,
+		floors:   floors,
 		mode:     mode,
 		cfg:      cfg,
 		tree:     tree,
@@ -186,6 +213,35 @@ func NewLoadBalance(tb *cluster.Testbed, tree *cluster.Tree, mode LoadBalanceMod
 	return lb, nil
 }
 
+// NewLoadBalanceFrom builds a load-balance monitor that continues from a
+// dead front-end's archive-replayed state instead of starting empty: the
+// weighted tree is seeded from the handoff, the source readers start
+// after the newest retained tuple, and each node's join ignores rounds
+// the old front-end already completed. Single-scope mode only — the
+// distributed monitor's cumulative intermediate records live on the
+// compute hosts and survive the front-end on their own, so it needs no
+// handoff.
+func NewLoadBalanceFrom(tb *cluster.Testbed, tree *cluster.Tree, mode LoadBalanceMode, cfg Config, cs *cosched.Set, resume *LoadBalanceResume) (*LoadBalance, error) {
+	if mode != SingleScope {
+		return nil, fmt.Errorf("monitor: failover resume supports single-scope mode only (distributed state is host-resident and would be overwritten by the seed)")
+	}
+	if resume == nil {
+		return nil, fmt.Errorf("monitor: nil resume handoff")
+	}
+	lb, err := newLoadBalance(tb, tree, mode, cfg, cs, resume.Floors)
+	if err != nil {
+		return nil, err
+	}
+	if resume.Weighted != nil {
+		for _, node := range resume.Weighted.Nodes() {
+			for c, n := range resume.Weighted.Counts(node) {
+				lb.weighted.Add(node, c, n)
+			}
+		}
+	}
+	return lb, nil
+}
+
 // buildSingleScopeSources creates one source per collective wrapper: a
 // reduce wrapper on the node's host that joins the node's contributor
 // trace buffers and keeps only each round's last-arrival record.
@@ -195,8 +251,12 @@ func (lb *LoadBalance) buildSingleScopeSources(spec *escope.Spec) error {
 		id := n.CollectiveEC.ID()
 		var readers []*paths.BatchReader
 		var chains []paths.Wrapper
+		newReader := paths.NewBatchReader
+		if lb.fromEnd {
+			newReader = paths.NewBatchReaderAtEnd
+		}
 		for i, ec := range n.ContribECs {
-			rd := paths.NewBatchReader(
+			rd := newReader(
 				fmt.Sprintf("lb/rd(%s.c%d)", n.Name, i), n.Host, ec.Buffer(), collect.TupleSize, lb.cfg.readBatch())
 			readers = append(readers, rd)
 			chains = append(chains, rd)
@@ -206,6 +266,7 @@ func (lb *LoadBalance) buildSingleScopeSources(spec *escope.Spec) error {
 			return err
 		}
 		join := newLBJoin(n.AR.Fanin())
+		join.floor = lb.floors[n.Name]
 		perPort := len(readers)
 		cost := lb.cfg.AnalysisCostPerTuple
 		host := n.Host
@@ -432,11 +493,25 @@ func (lb *LoadBalance) Stop() {
 		}
 		lb.wg.Wait()
 		lb.scope.Close()
+		// The front-end analysis buffers die with the monitor: a
+		// replacement built after a failover re-creates them under the
+		// same names (the host registry models front-end memory, and the
+		// paper's front-end state is not persistent).
+		for _, e := range lb.feElems {
+			_ = lb.fe.Registry.Remove(e.Name())
+		}
+		for _, ha := range lb.hosts {
+			_ = ha.host.Registry.Remove(ha.interm.Name())
+		}
 	})
 }
 
 // Weighted returns the front-end weighted tree.
 func (lb *LoadBalance) Weighted() *WeightedTree { return lb.weighted }
+
+// Scope exposes the monitor's event scope, for runtime tree repair
+// (reconfig) and topology inspection.
+func (lb *LoadBalance) Scope() *escope.Scope { return lb.scope }
 
 // Mode returns the monitor's mode.
 func (lb *LoadBalance) Mode() LoadBalanceMode { return lb.mode }

@@ -90,6 +90,34 @@ func (r *LastArrivalReplay) Feed(t collect.TraceTuple) {
 // via viz.WeightedTree) against the live monitor's Weighted() output.
 func (r *LastArrivalReplay) Weighted() *WeightedTree { return r.weighted }
 
+// LoadBalanceResume is the state handoff for a front-end failover: the
+// weighted tree reconstructed from the dead front-end's sealed archive,
+// plus per-node join floors (the highest round each node completed) so
+// the replacement monitor never double-counts a finished round.
+type LoadBalanceResume struct {
+	Weighted *WeightedTree
+	Floors   map[string]uint32 // node name -> highest completed Seq
+}
+
+// Resume snapshots the replay into a handoff a replacement load-balance
+// monitor can be seeded from (NewLoadBalanceFrom). Call it after feeding
+// the sealed archive completely; Lost() must be zero for the handoff to
+// be faithful.
+func (r *LastArrivalReplay) Resume() *LoadBalanceResume {
+	res := &LoadBalanceResume{Weighted: NewWeightedTree(), Floors: make(map[string]uint32)}
+	for _, node := range r.weighted.Nodes() {
+		for c, n := range r.weighted.Counts(node) {
+			res.Weighted.Add(node, c, n)
+		}
+	}
+	for node, j := range r.joins {
+		if j.maxDone > 0 {
+			res.Floors[node] = j.maxDone
+		}
+	}
+	return res
+}
+
 // Fed returns how many tuples were offered and how many belonged to a
 // known contributor collector.
 func (r *LastArrivalReplay) Fed() (fed, matched uint64) { return r.fed, r.matched }

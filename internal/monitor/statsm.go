@@ -100,6 +100,23 @@ type statsLink struct {
 	dirty         bool
 }
 
+// NewStatsmFrom builds a statistics monitor whose published analysis
+// tree starts from an archive-replayed snapshot (StatsReplay.Tree)
+// instead of empty — the front-end failover path. The seeded records
+// stand until the replacement's own analysis threads publish fresher
+// ones for the same node/kind, so a reader never observes the
+// statistics reset to zero across the failover.
+func NewStatsmFrom(tb *cluster.Testbed, tree *cluster.Tree, cfg Config, cs *cosched.Set, seed *AnalysisTree) (*Statsm, error) {
+	sm, err := NewStatsm(tb, tree, cfg, cs)
+	if err != nil {
+		return nil, err
+	}
+	if seed != nil {
+		sm.atree = seed
+	}
+	return sm, nil
+}
+
 // NewStatsm builds the statistics monitor over an instrumented tree.
 func NewStatsm(tb *cluster.Testbed, tree *cluster.Tree, cfg Config, cs *cosched.Set) (*Statsm, error) {
 	if !tree.Spec.Instrument {
@@ -507,6 +524,11 @@ func (sm *Statsm) Stop() {
 			for _, c := range sh.conns {
 				c.Close()
 			}
+			// The intermediate buffers belong to this monitor's analysis
+			// threads; releasing them lets a failover replacement re-create
+			// them under the same names.
+			_ = sh.host.Registry.Remove(sh.wrapperElem.Name())
+			_ = sh.host.Registry.Remove(sh.threadElem.Name())
 		}
 	})
 }

@@ -2,6 +2,7 @@ package paths
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"eventspace/internal/hrtime"
@@ -20,9 +21,16 @@ import (
 // thread's context. With helpers > 0 that many helper threads perform the
 // reads in parallel — the paper's knob for trading monitoring overhead
 // against gather performance (Tables 1-3, "sequential" vs "parallel").
+//
+// The child set is mutable at runtime (copy-on-write): runtime tree
+// repair re-parents children between gathers while pulls are in flight.
+// An in-flight gather keeps reading the snapshot it started with; a
+// removed child's dead connection surfaces as a transport fault the
+// enclosing health guard absorbs.
 type Gather struct {
 	base
-	children []Wrapper
+	children atomic.Pointer[[]Wrapper]
+	mutMu    sync.Mutex // serializes child-set mutations
 	helpers  int
 	met      atomic.Pointer[metrics.Op]
 }
@@ -35,14 +43,68 @@ func NewGather(name string, host *vnet.Host, children []Wrapper, helpers int) (*
 	if helpers < 0 {
 		return nil, fmt.Errorf("paths: gather %q: helpers %d < 0", name, helpers)
 	}
-	return &Gather{base: base{name, host}, children: append([]Wrapper(nil), children...), helpers: helpers}, nil
+	g := &Gather{base: base{name, host}, helpers: helpers}
+	cp := append([]Wrapper(nil), children...)
+	g.children.Store(&cp)
+	return g, nil
 }
 
 // Helpers reports the helper-thread count (0 = sequential gathering).
 func (g *Gather) Helpers() int { return g.helpers }
 
-// Children returns the child wrappers.
-func (g *Gather) Children() []Wrapper { return g.children }
+// Children returns the current child snapshot. Callers must not mutate
+// the returned slice.
+func (g *Gather) Children() []Wrapper { return *g.children.Load() }
+
+// AddChild appends a child to the gather at runtime.
+func (g *Gather) AddChild(c Wrapper) {
+	g.mutMu.Lock()
+	defer g.mutMu.Unlock()
+	old := *g.children.Load()
+	cp := make([]Wrapper, 0, len(old)+1)
+	cp = append(cp, old...)
+	cp = append(cp, c)
+	g.children.Store(&cp)
+}
+
+// RemoveChild removes a child by identity and reports whether it was
+// present. A gather may be left empty: an empty gather answers reads
+// with an empty reply until children are added back.
+func (g *Gather) RemoveChild(c Wrapper) bool {
+	g.mutMu.Lock()
+	defer g.mutMu.Unlock()
+	old := *g.children.Load()
+	cp := make([]Wrapper, 0, len(old))
+	found := false
+	for _, ch := range old {
+		if ch == c && !found {
+			found = true
+			continue
+		}
+		cp = append(cp, ch)
+	}
+	if found {
+		g.children.Store(&cp)
+	}
+	return found
+}
+
+// ReplaceChild swaps old for new in place (preserving child order) and
+// reports whether old was present.
+func (g *Gather) ReplaceChild(old, repl Wrapper) bool {
+	g.mutMu.Lock()
+	defer g.mutMu.Unlock()
+	cur := *g.children.Load()
+	cp := append([]Wrapper(nil), cur...)
+	for i, ch := range cp {
+		if ch == old {
+			cp[i] = repl
+			g.children.Store(&cp)
+			return true
+		}
+	}
+	return false
+}
 
 // SetMetrics installs the gather's self-metrics site. nil disables.
 func (g *Gather) SetMetrics(op *metrics.Op) *Gather {
@@ -67,16 +129,17 @@ func (g *Gather) gather(ctx *Ctx, req Request) (Reply, error) {
 	if req.Kind != OpRead {
 		return Reply{}, fmt.Errorf("paths: %s: unsupported op %v", g.name, req.Kind)
 	}
-	replies := make([]Reply, len(g.children))
-	errs := make([]error, len(g.children))
+	children := *g.children.Load()
+	replies := make([]Reply, len(children))
+	errs := make([]error, len(children))
 	if g.helpers == 0 {
-		for i, c := range g.children {
+		for i, c := range children {
 			replies[i], errs[i] = c.Op(ctx, req)
 		}
 	} else {
 		sem := vclock.NewSem(g.helpers)
 		wg := vclock.NewWaitGroup()
-		for i, c := range g.children {
+		for i, c := range children {
 			i, c := i, c
 			wg.Add(1)
 			vclock.Go(func() {
@@ -93,7 +156,7 @@ func (g *Gather) gather(ctx *Ctx, req Request) (Reply, error) {
 	total := 0
 	for i := range replies {
 		if errs[i] != nil {
-			return Reply{}, fmt.Errorf("paths: %s: child %s: %w", g.name, g.children[i].Name(), errs[i])
+			return Reply{}, fmt.Errorf("paths: %s: child %s: %w", g.name, children[i].Name(), errs[i])
 		}
 		buf = append(buf, replies[i].Data...)
 		total += int(replies[i].Ret)

@@ -192,6 +192,20 @@ func NewBatchReader(name string, host *vnet.Host, elem *pastset.Element, recSize
 	}
 }
 
+// NewBatchReaderAtEnd is NewBatchReader with the cursor positioned after
+// the newest retained tuple: only tuples written after this call are
+// seen. A replacement scope built during front-end failover uses it so
+// its archive recorder does not re-archive tuples the sealed archive
+// already holds.
+func NewBatchReaderAtEnd(name string, host *vnet.Host, elem *pastset.Element, recSize, maxRecords int) *BatchReader {
+	return &BatchReader{
+		base:    base{name, host},
+		cursor:  elem.NewCursorAtEnd(),
+		recSize: recSize,
+		max:     maxRecords,
+	}
+}
+
 // Cursor exposes the reader's cursor for gather-rate accounting.
 func (r *BatchReader) Cursor() *pastset.Cursor { return r.cursor }
 

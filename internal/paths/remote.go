@@ -211,6 +211,14 @@ func (r *Remote) call(ctx *Ctx, req Request) (Reply, error) {
 	}
 }
 
+// Caller returns the stub's current transport (post-redial). Owners
+// tracking connections use it to untrack the final one on teardown.
+func (r *Remote) Caller() vnet.Caller {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.caller
+}
+
 // Close releases the stub's connection.
 func (r *Remote) Close() error {
 	r.mu.Lock()

@@ -56,6 +56,17 @@ func mix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// Jitter deterministically scales d by a factor in [0.5, 1.0) derived
+// from (seed, step). The same (seed, step) pair always yields the same
+// wait; different seeds de-correlate, which is what keeps simultaneous
+// failures from producing synchronized retry or probe storms. It is
+// shared by the stub retry backoff and the escope guard probe backoff.
+func Jitter(seed, step uint64, d time.Duration) time.Duration {
+	j := mix64(seed ^ step)
+	factor := 0.5 + float64(j>>11)/float64(1<<53)*0.5
+	return time.Duration(float64(d) * factor)
+}
+
 // Backoff returns the wait before retry attempt (1-based retry index):
 // base*2^(attempt-1), capped, scaled by a deterministic jitter factor in
 // [0.5, 1.0).
@@ -70,7 +81,5 @@ func (p *RetryPolicy) Backoff(attempt int) time.Duration {
 	if d > p.cap() {
 		d = p.cap()
 	}
-	j := mix64(p.JitterSeed ^ uint64(attempt))
-	factor := 0.5 + float64(j>>11)/float64(1<<53)*0.5
-	return time.Duration(float64(d) * factor)
+	return Jitter(p.JitterSeed, uint64(attempt), d)
 }

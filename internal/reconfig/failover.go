@@ -1,0 +1,87 @@
+// Front-end failover: when the monitor front-end itself is lost, its
+// in-memory analysis state (the weighted tree, the per-node round joins,
+// the statistics streams) dies with it — but the trace archive it sealed
+// survives. This file rebuilds that state deterministically by replaying
+// the archive through the exact same joins the live monitor ran, and
+// packages it as a handoff a replacement monitor is seeded from
+// (monitor.NewLoadBalanceFrom / monitor.NewStatsmFrom).
+//
+// The determinism contract: the archive must be sealed (final drain
+// done) at a workload quiesce point, and the replay must lose no rounds
+// (Lost() == 0). Then the replacement's weighted tree continues exactly
+// where the dead front-end's stopped — replaying the failover run's
+// complete archive afterwards reproduces the live output byte for byte.
+package reconfig
+
+import (
+	"fmt"
+
+	"eventspace/internal/archive"
+	"eventspace/internal/hrtime"
+	"eventspace/internal/metrics"
+	"eventspace/internal/monitor"
+)
+
+// FailoverState is the archive-rebuilt front-end state handoff.
+type FailoverState struct {
+	// Resume seeds a replacement load-balance monitor: the weighted tree
+	// as of the seal, plus per-node join floors.
+	Resume *monitor.LoadBalanceResume
+	// Stats seeds a replacement statistics monitor (StatsReplay.Tree).
+	Stats *monitor.AnalysisTree
+	// RoundsRecovered is the number of last-arrival verdicts rebuilt.
+	RoundsRecovered uint64
+	// TuplesFed / TuplesMatched account the replay's input.
+	TuplesFed     uint64
+	TuplesMatched uint64
+}
+
+// RebuildFrontEnd replays a sealed archive directory into a failover
+// handoff. reg, when set, records the rebuild in self-metrics (a
+// KindReconfig op plus the reconfig.failovers counter); nil disables.
+// It fails when the archive's joins evicted rounds — a lossy rebuild
+// would silently double-count on resume, so it is refused outright.
+func RebuildFrontEnd(dir string, reg *metrics.Registry) (*FailoverState, error) {
+	start := hrtime.Now()
+	st, err := rebuildFrontEnd(dir, reg)
+	if reg != nil {
+		reg.Op(metrics.KindReconfig, "failover("+dir+")").Record(hrtime.Since(start), 0, err)
+	}
+	if err == nil {
+		reg.Counter("reconfig.failovers").Inc()
+	}
+	return st, err
+}
+
+func rebuildFrontEnd(dir string, reg *metrics.Registry) (*FailoverState, error) {
+	infos, err := archive.ReadMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(infos) == 0 {
+		return nil, fmt.Errorf("reconfig: failover: archive %s has no collector metadata", dir)
+	}
+	r, err := archive.OpenReaderMetrics(dir, reg)
+	if err != nil {
+		return nil, err
+	}
+	rep, _, err := archive.ReplayLastArrival(r, infos, archive.Query{})
+	if err != nil {
+		return nil, err
+	}
+	if lost := rep.Lost(); lost > 0 {
+		return nil, fmt.Errorf("reconfig: failover: replay evicted %d rounds; the handoff would not be faithful", lost)
+	}
+	sr, _, err := archive.ReplayStats(r, infos, archive.Query{}, 0)
+	if err != nil {
+		return nil, err
+	}
+	fed, matched := rep.Fed()
+	return &FailoverState{
+		Resume:          rep.Resume(),
+		Stats:           sr.Tree(),
+		RoundsRecovered: rep.Weighted().Total(),
+		TuplesFed:       fed,
+		TuplesMatched:   matched,
+	}, nil
+}

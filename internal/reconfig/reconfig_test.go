@@ -1,0 +1,390 @@
+package reconfig_test
+
+//lint:file-allow wallclock chaos tests poll real goroutine progress against wall-clock deadlines
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"eventspace/internal/cluster"
+	"eventspace/internal/escope"
+	"eventspace/internal/hrtime"
+	"eventspace/internal/metrics"
+	"eventspace/internal/pastset"
+	"eventspace/internal/paths"
+	"eventspace/internal/reconfig"
+	"eventspace/internal/vnet"
+	"eventspace/internal/wantrace"
+)
+
+func fastScale(t *testing.T) {
+	t.Helper()
+	old := hrtime.Scale()
+	hrtime.SetScale(0.005)
+	t.Cleanup(func() { hrtime.SetScale(old) })
+}
+
+// wan4 is the acceptance topology: four Tin sub-clusters at the four
+// trace sites, each behind its own gateway, under the Longcut emulator.
+func wan4(seed int64, hostsPer int) cluster.TestbedSpec {
+	sites := []string{wantrace.Tromso, wantrace.Trondheim, wantrace.Odense, wantrace.Aalborg}
+	spec := cluster.TestbedSpec{WAN: true, WANSeed: seed}
+	for i, site := range sites {
+		spec.Clusters = append(spec.Clusters, cluster.ClusterSpec{
+			Name: fmt.Sprintf("tin%d", i), Class: cluster.Tin, Hosts: hostsPer, Site: site,
+		})
+	}
+	return spec
+}
+
+// guardedScope builds a health-tracked scope with one 1-byte-record
+// source per compute host of every cluster in tb.
+func guardedScope(t *testing.T, tb *cluster.Testbed) (*escope.Scope, map[string]*pastset.Element) {
+	t.Helper()
+	elems := make(map[string]*pastset.Element)
+	spec := escope.Spec{
+		Name:     "mon",
+		FrontEnd: tb.FrontEnd,
+		Health:   &escope.HealthPolicy{DeadAfter: 2, ProbeBase: time.Millisecond, ProbeMax: 4 * time.Millisecond},
+		Retry:    &paths.RetryPolicy{MaxAttempts: 2, BaseBackoff: 50 * time.Microsecond},
+	}
+	for _, h := range tb.Hosts() {
+		e := pastset.MustNewElement("src-"+h.Name(), 64)
+		if _, err := e.Write([]byte{1}); err != nil {
+			t.Fatal(err)
+		}
+		elems[h.Name()] = e
+		spec.Sources = append(spec.Sources, escope.Source{Host: h, Elem: e, RecSize: 1})
+	}
+	scope, err := escope.Build(tb.Net, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(scope.Close)
+	return scope, elems
+}
+
+func pullUntil(t *testing.T, s *escope.Scope, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		s.Pull(nil)
+		time.Sleep(500 * time.Microsecond)
+	}
+	return cond()
+}
+
+func clusterByName(topo []escope.ClusterTopology, name string) *escope.ClusterTopology {
+	for i := range topo {
+		if topo[i].Name == name {
+			return &topo[i]
+		}
+	}
+	return nil
+}
+
+// runGatewayCrash runs the acceptance scenario once and returns the
+// executed repair steps: a 4-cluster WAN testbed, a monitored scope over
+// every compute host, a manager attached, and one gateway crashed
+// mid-run. The scope must return to full coverage within five monitored
+// rounds of the repair, without a restart.
+func runGatewayCrash(t *testing.T, seed int64) []reconfig.RepairStep {
+	t.Helper()
+	fastScale(t)
+	tb, err := cluster.NewTestbed(wan4(seed, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope, elems := guardedScope(t, tb)
+	reg := metrics.New()
+	planCh := make(chan reconfig.RepairPlan, 4)
+	mgr, err := reconfig.Attach(scope, reconfig.Policy{
+		Metrics: reg,
+		OnPlan:  func(p reconfig.RepairPlan) { planCh <- p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+
+	if !pullUntil(t, scope, 10*time.Second, func() bool { return scope.Coverage().Complete() }) {
+		t.Fatalf("initial coverage never completed: %+v", scope.Coverage())
+	}
+
+	victim := tb.Clusters[0]
+	orphans := victim.Hosts()
+	tb.Net.InjectFaults(vnet.FaultPlan{
+		CallTimeout: 500 * time.Microsecond,
+		Events:      []vnet.FaultEvent{{Kind: vnet.FaultCrash, Host: victim.Gateway().Name()}},
+	})
+	defer tb.Net.ClearFaults()
+
+	// Keep monitoring through the crash until the manager has repaired.
+	var plan reconfig.RepairPlan
+	if !pullUntil(t, scope, 20*time.Second, func() bool {
+		select {
+		case plan = <-planCh:
+			return true
+		default:
+			return false
+		}
+	}) {
+		t.Fatalf("no repair plan executed; topology %+v", scope.Topology())
+	}
+	if plan.Aborted || plan.Failed() {
+		t.Fatalf("repair did not apply: %+v", plan)
+	}
+	if len(plan.Steps) != len(orphans) {
+		t.Fatalf("plan has %d steps for %d orphans: %+v", len(plan.Steps), len(orphans), plan)
+	}
+	for _, st := range plan.Steps {
+		if st.Kind != reconfig.StepReparent || st.Cluster != victim.Name() {
+			t.Fatalf("unexpected step: %+v", st)
+		}
+	}
+	if got := reg.Counter("reconfig.reparents").Value(); got != uint64(len(orphans)) {
+		t.Fatalf("reparent counter = %d, want %d", got, len(orphans))
+	}
+
+	// Fresh records on the orphaned hosts prove delivery over the new
+	// paths, and coverage must heal within five monitored rounds.
+	for _, h := range orphans {
+		if _, err := elems[h.Name()].Write([]byte{9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rounds := 0
+	for ; rounds < 5; rounds++ {
+		scope.Pull(nil)
+		if cov := scope.Coverage(); cov.Reporting == cov.Expected {
+			break
+		}
+	}
+	cov := scope.Coverage()
+	if cov.Reporting != cov.Expected {
+		t.Fatalf("coverage not restored within 5 rounds after repair: %+v", cov)
+	}
+	if cov.Recovered < len(orphans) {
+		t.Fatalf("recovered = %d, want >= %d (%+v)", cov.Recovered, len(orphans), cov)
+	}
+	// The dead cluster is dissolved; its members live under survivors.
+	if clusterByName(scope.Topology(), victim.Name()) != nil {
+		t.Fatalf("crashed cluster not dissolved: %+v", scope.Topology())
+	}
+	return plan.Steps
+}
+
+// TestGatewayCrashReparentRestoresCoverage is the acceptance scenario
+// across three WAN seeds: each run must repair by re-parenting within
+// five monitored rounds, and repeating a seed must produce the identical
+// plan (the planner consumes only sorted snapshots and the policy).
+func TestGatewayCrashReparentRestoresCoverage(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			first := runGatewayCrash(t, seed)
+			second := runGatewayCrash(t, seed)
+			if len(first) != len(second) {
+				t.Fatalf("plans differ in length across identical runs:\n%+v\n%+v", first, second)
+			}
+			for i := range first {
+				if first[i] != second[i] {
+					t.Fatalf("plan step %d differs across identical runs:\n%+v\n%+v", i, first[i], second[i])
+				}
+			}
+		})
+	}
+}
+
+// lanRig builds a plain two-cluster LAN testbed (a: 3 hosts, b: 2).
+func lanRig(t *testing.T) *cluster.Testbed {
+	t.Helper()
+	tb, err := cluster.NewTestbed(cluster.TestbedSpec{Clusters: []cluster.ClusterSpec{
+		{Name: "a", Class: cluster.Tin, Hosts: 3, Site: wantrace.Tromso},
+		{Name: "b", Class: cluster.Tin, Hosts: 2, Site: wantrace.Tromso},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// A fan-in cap that no survivor can satisfy forces the promote path: the
+// cluster is rebuilt around one of its own members instead of being
+// scattered.
+func TestGatewayCrashPromotesUnderFanInCap(t *testing.T) {
+	fastScale(t)
+	tb := lanRig(t)
+	scope, elems := guardedScope(t, tb)
+	planCh := make(chan reconfig.RepairPlan, 4)
+	// No Metrics: the nil-safe counters must tolerate a nil registry.
+	mgr, err := reconfig.Attach(scope, reconfig.Policy{
+		MaxFanIn: 2,
+		OnPlan:   func(p reconfig.RepairPlan) { planCh <- p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+
+	if !pullUntil(t, scope, 10*time.Second, func() bool { return scope.Coverage().Complete() }) {
+		t.Fatalf("initial coverage never completed: %+v", scope.Coverage())
+	}
+	a := tb.Clusters[0]
+	tb.Net.InjectFaults(vnet.FaultPlan{
+		CallTimeout: 500 * time.Microsecond,
+		Events:      []vnet.FaultEvent{{Kind: vnet.FaultCrash, Host: a.Gateway().Name()}},
+	})
+	defer tb.Net.ClearFaults()
+
+	var plan reconfig.RepairPlan
+	if !pullUntil(t, scope, 20*time.Second, func() bool {
+		select {
+		case plan = <-planCh:
+			return true
+		default:
+			return false
+		}
+	}) {
+		t.Fatalf("no repair plan executed; topology %+v", scope.Topology())
+	}
+	if plan.Aborted || plan.Failed() {
+		t.Fatalf("repair did not apply: %+v", plan)
+	}
+	if len(plan.Steps) != 1 || plan.Steps[0].Kind != reconfig.StepPromote {
+		t.Fatalf("expected a single promote step: %+v", plan)
+	}
+	promoted := plan.Steps[0].Host
+
+	topo := scope.Topology()
+	ct := clusterByName(topo, "a")
+	if ct == nil || ct.Gateway != promoted {
+		t.Fatalf("cluster a not rebuilt on %s: %+v", promoted, topo)
+	}
+	for _, h := range a.Hosts() {
+		if _, err := elems[h.Name()].Write([]byte{9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !pullUntil(t, scope, 20*time.Second, func() bool { return scope.Coverage().Complete() }) {
+		t.Fatalf("coverage never recovered after promote: %+v", scope.Coverage())
+	}
+	if len(mgr.Plans()) != 1 {
+		t.Fatalf("plans = %+v", mgr.Plans())
+	}
+}
+
+// A cluster whose members all died before its gateway leaves the planner
+// nothing to work with: the plan aborts explicitly, with a reason and a
+// counted abort, instead of thrashing.
+func TestRepairAbortsWithoutLiveCandidates(t *testing.T) {
+	fastScale(t)
+	tb, err := cluster.NewTestbed(cluster.TestbedSpec{Clusters: []cluster.ClusterSpec{
+		{Name: "a", Class: cluster.Tin, Hosts: 2, Site: wantrace.Tromso},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope, _ := guardedScope(t, tb)
+	reg := metrics.New()
+	planCh := make(chan reconfig.RepairPlan, 4)
+	mgr, err := reconfig.Attach(scope, reconfig.Policy{
+		Metrics: reg,
+		OnPlan:  func(p reconfig.RepairPlan) { planCh <- p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+
+	if !pullUntil(t, scope, 10*time.Second, func() bool { return scope.Coverage().Complete() }) {
+		t.Fatalf("initial coverage never completed: %+v", scope.Coverage())
+	}
+	a := tb.Clusters[0]
+	// Kill the members first so their leaf guards are proven dead, then
+	// the gateway: the trigger fires with no live candidate anywhere.
+	var events []vnet.FaultEvent
+	for _, h := range a.Hosts() {
+		events = append(events, vnet.FaultEvent{Kind: vnet.FaultCrash, Host: h.Name()})
+	}
+	tb.Net.InjectFaults(vnet.FaultPlan{CallTimeout: 500 * time.Microsecond, Events: events})
+	defer tb.Net.ClearFaults()
+	if !pullUntil(t, scope, 20*time.Second, func() bool {
+		ct := clusterByName(scope.Topology(), "a")
+		if ct == nil {
+			return false
+		}
+		for _, m := range ct.Members {
+			if m.State != escope.Dead {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatalf("members never died: %+v", scope.Topology())
+	}
+	// Installing a new injector forgets the old one's down state, so the
+	// replacement plan re-crashes the members alongside the gateway. The
+	// only prober here is this test's pull loop; waiting for all three
+	// events to apply before pulling again keeps the member guards Dead
+	// through the swap.
+	events = append(events, vnet.FaultEvent{Kind: vnet.FaultCrash, Host: a.Gateway().Name()})
+	inj := tb.Net.InjectFaults(vnet.FaultPlan{CallTimeout: 500 * time.Microsecond, Events: events})
+	deadline := time.Now().Add(5 * time.Second)
+	for len(inj.Log()) < len(events) {
+		if time.Now().After(deadline) {
+			t.Fatalf("fault events never applied: %+v", inj.Log())
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	var plan reconfig.RepairPlan
+	if !pullUntil(t, scope, 20*time.Second, func() bool {
+		select {
+		case plan = <-planCh:
+			return true
+		default:
+			return false
+		}
+	}) {
+		t.Fatalf("no plan recorded; topology %+v", scope.Topology())
+	}
+	if !plan.Aborted || plan.Reason == "" {
+		t.Fatalf("expected an aborted plan with a reason: %+v", plan)
+	}
+	if len(plan.Steps) != 0 {
+		t.Fatalf("aborted plan executed steps: %+v", plan)
+	}
+	if got := reg.Counter("reconfig.plan-aborts").Value(); got == 0 {
+		t.Fatal("abort not counted")
+	}
+	// The cluster survives in the topology for a later restart to heal.
+	if clusterByName(scope.Topology(), "a") == nil {
+		t.Fatalf("aborted plan dissolved the cluster: %+v", scope.Topology())
+	}
+}
+
+// Attach validates its inputs.
+func TestAttachValidation(t *testing.T) {
+	fastScale(t)
+	if _, err := reconfig.Attach(nil, reconfig.Policy{}); err == nil {
+		t.Fatal("nil scope accepted")
+	}
+	tb := lanRig(t)
+	e := pastset.MustNewElement("x", 8)
+	plain, err := escope.Build(tb.Net, escope.Spec{
+		Name: "plain", FrontEnd: tb.FrontEnd,
+		Sources: []escope.Source{{Host: tb.Clusters[0].Hosts()[0], Elem: e, RecSize: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if _, err := reconfig.Attach(plain, reconfig.Policy{}); err == nil {
+		t.Fatal("health-free scope accepted")
+	}
+}
