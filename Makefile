@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-archive lint vet eslint ci
+.PHONY: build test test-short bench bench-archive bench-staleness lint vet eslint ci
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,14 @@ bench-archive:
 	$(GO) test -race ./internal/archive/
 	ARCHIVE_BENCH_OUT=$(CURDIR)/BENCH_archive.json \
 		$(GO) test -race -run TestRecordArchiveBench ./internal/bench/
+
+# bench-staleness runs the straggler-storm chaos suite under the race
+# detector and records the degradation ladder's accuracy-versus-overhead
+# table (3 modes x 3 seeds) in BENCH_staleness.json.
+bench-staleness:
+	$(GO) test -race -run TestStragglerStormBoundedStaleness ./internal/escope/
+	STALENESS_BENCH_OUT=$(CURDIR)/BENCH_staleness.json \
+		$(GO) test -race -run TestRecordStalenessBench ./internal/bench/
 
 vet:
 	$(GO) vet ./...

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	esquery info    -dir DIR
-//	esquery filter  -dir DIR [-ecids 1,2] [-ops read,write] [-min N] [-max N] [-limit N]
+//	esquery filter  -dir DIR [-ecids 1,2] [-ops read,write,mode] [-min N] [-max N]
+//	                [-since D] [-until D] [-limit N]
 //	esquery summarize -dir DIR [filters] [-bucket D]
 //	esquery replay  -dir DIR [filters] [-monitor loadbalance|stats] [-window N]
 //
@@ -72,15 +73,19 @@ type queryFlags struct {
 	ops   *string
 	min   *int64
 	max   *int64
+	since *time.Duration
+	until *time.Duration
 }
 
 func addQueryFlags(fs *flag.FlagSet) *queryFlags {
 	return &queryFlags{
 		dir:   fs.String("dir", "", "archive directory (required)"),
 		ecids: fs.String("ecids", "", "comma-separated event-collector ids to keep (empty: all)"),
-		ops:   fs.String("ops", "", "comma-separated op kinds to keep: read,write (empty: all)"),
+		ops:   fs.String("ops", "", "comma-separated op kinds to keep: read,write,mode (empty: all)"),
 		min:   fs.Int64("min", 0, "minimum tuple Start stamp, inclusive"),
 		max:   fs.Int64("max", 0, "maximum tuple Start stamp, inclusive (0: unbounded)"),
+		since: fs.Duration("since", 0, "minimum tuple Start as model time past the virtual epoch (e.g. 800us); overrides -min"),
+		until: fs.Duration("until", 0, "maximum tuple Start as model time past the virtual epoch (0: unbounded); overrides -max"),
 	}
 }
 
@@ -106,12 +111,26 @@ func (qf *queryFlags) parse() (*archive.Reader, archive.Query, error) {
 				q.Ops = append(q.Ops, paths.OpRead)
 			case "write":
 				q.Ops = append(q.Ops, paths.OpWrite)
+			case "mode":
+				q.Ops = append(q.Ops, paths.OpMode)
 			default:
-				return nil, q, fmt.Errorf("-ops: unknown op %q (want read or write)", s)
+				return nil, q, fmt.Errorf("-ops: unknown op %q (want read, write or mode)", s)
 			}
 		}
 	}
 	q.MinStamp, q.MaxStamp = *qf.min, *qf.max
+	// -since/-until express the same stamp range as model time past the
+	// virtual epoch; like -min/-max they ride the segment header-index
+	// pushdown, so out-of-range segments are skipped without decoding.
+	if *qf.since > 0 {
+		q.MinStamp = int64(*qf.since)
+	}
+	if *qf.until > 0 {
+		q.MaxStamp = int64(*qf.until)
+	}
+	if *qf.until < 0 || *qf.since < 0 {
+		return nil, q, fmt.Errorf("-since/-until must be non-negative")
+	}
 	r, err := archive.OpenReader(*qf.dir)
 	if err != nil {
 		return nil, q, err
@@ -259,6 +278,8 @@ func opName(op paths.OpKind) string {
 		return "read"
 	case paths.OpWrite:
 		return "write"
+	case paths.OpMode:
+		return "mode"
 	default:
 		return fmt.Sprintf("op(%d)", op)
 	}

@@ -49,6 +49,7 @@ import (
 
 	"eventspace/internal/archive"
 	"eventspace/internal/cluster"
+	"eventspace/internal/collect"
 	"eventspace/internal/core"
 	"eventspace/internal/cosched"
 	"eventspace/internal/escope"
@@ -134,6 +135,37 @@ type (
 	// Transition is one guard state change, as delivered to transition
 	// hooks and repair managers.
 	Transition = escope.Transition
+
+	// BreakerPolicy enables per-child straggler circuit breakers in
+	// monitor event scopes (MonitorConfig.Breaker, requires Health):
+	// outside strict mode every gather round's wait on a child is
+	// bounded, and slow children are skipped and served stale within the
+	// policy's staleness bound.
+	BreakerPolicy = escope.BreakerPolicy
+	// BreakerHealth is a snapshot of one child's straggler breaker.
+	BreakerHealth = escope.BreakerHealth
+	// ScopeMode is a rung of a scope's degradation ladder (strict,
+	// bounded-staleness, summary-only).
+	ScopeMode = escope.Mode
+	// ModeChange is one degradation-ladder transition, as logged by the
+	// scope and persisted to the archive as a control tuple.
+	ModeChange = escope.ModeChange
+	// IngestStats is a monitor ingest queue's shed/summarize accounting.
+	IngestStats = collect.IngestStats
+	// ModeReplay reconstructs a scope's mode history from an archive.
+	ModeReplay = monitor.ModeReplay
+)
+
+// Degradation-ladder rungs (MonitorConfig.ScopeMode /
+// LoadBalance.SetScopeMode). Strict is the paper's behaviour: every
+// gather round waits for every child. Bounded-staleness cuts stragglers
+// at the breaker deadline and coasts on stale data within the bound.
+// Summary-only additionally sheds gathered payloads at the ingest queue,
+// keeping only aggregate counts.
+const (
+	ModeStrict  = escope.ModeStrict
+	ModeBounded = escope.ModeBounded
+	ModeSummary = escope.ModeSummary
 )
 
 // Runtime tree repair (see DESIGN.md "Runtime reconfiguration"): a
@@ -248,6 +280,13 @@ func ReplayStats(r *ArchiveReader, infos []CollectorInfo, q ArchiveQuery, window
 	return rep, err
 }
 
+// ReplayModes reconstructs the named scope's degradation-ladder history
+// from archived mode-transition control tuples matching q.
+func ReplayModes(r *ArchiveReader, scope string, q ArchiveQuery) (*ModeReplay, error) {
+	rep, _, err := archive.ReplayModes(r, scope, q)
+	return rep, err
+}
+
 // Fault event kinds.
 const (
 	FaultCrash     = vnet.FaultCrash
@@ -255,6 +294,8 @@ const (
 	FaultPartition = vnet.FaultPartition
 	FaultHeal      = vnet.FaultHeal
 	FaultReset     = vnet.FaultReset
+	FaultSlow      = vnet.FaultSlow
+	FaultFast      = vnet.FaultFast
 )
 
 // New builds a System over the given testbed specification.

@@ -289,6 +289,145 @@ func TestFrontEndFailoverResumesByteIdentical(t *testing.T) {
 	}
 }
 
+// TestDegradedRunReplaysByteIdentical is the degradation-ladder
+// acceptance contract: a run that walks the ladder (strict ->
+// bounded-staleness mid-traffic, then summary-only at quiesce) while an
+// archive recorder captures both data and mode-transition control
+// tuples must replay byte-identically — the offline mode history
+// renders exactly as the live scope's log, and the data replay is
+// undisturbed by the interleaved control tuples.
+func TestDegradedRunReplaysByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	var liveModes, liveTree bytes.Buffer
+	var scopeName string
+	const it1, it2 = 30, 30
+	err := RunVirtual(func() error {
+		sys, err := New(SingleTin(8), CoschedAfterUnblock)
+		if err != nil {
+			return err
+		}
+		defer sys.Close()
+		tree, err := sys.BuildTree(TreeSpec{
+			Name: "T", Fanout: 4, ThreadsPerHost: 1, Instrument: true, TraceBufCap: 4096,
+		})
+		if err != nil {
+			return err
+		}
+		cfg := DefaultMonitorConfig()
+		cfg.PullInterval = 200 * time.Microsecond
+		cfg.Health = &HealthPolicy{}
+		// A breaker with a generous deadline: the ladder engages but no
+		// child is slow enough to trip, so no round loses data.
+		cfg.Breaker = &BreakerPolicy{RoundDeadline: 50 * time.Millisecond}
+		lb, err := sys.AttachLoadBalance(tree, SingleScope, cfg)
+		if err != nil {
+			return err
+		}
+		scopeName = lb.Scope().Name()
+		if lb.ScopeMode() != ModeStrict {
+			t.Errorf("initial mode %v, want strict", lb.ScopeMode())
+		}
+		rec, err := sys.AttachArchive(tree, 200*time.Microsecond, ArchiveOptions{
+			Dir: dir, SegmentBytes: 4096,
+		})
+		if err != nil {
+			return err
+		}
+		rec.RecordModes(lb)
+		if _, err := sys.RunWorkload(Workload{Trees: []*Tree{tree}, Iterations: it1}); err != nil {
+			return err
+		}
+		// Walk the ladder mid-traffic: strict -> bounded-staleness.
+		lb.SetScopeMode(ModeBounded)
+		if _, err := sys.RunWorkload(Workload{Trees: []*Tree{tree}, Iterations: it2}); err != nil {
+			return err
+		}
+		want := uint64((it1 + it2) * len(tree.Nodes))
+		for i := 0; lb.RoundsObserved() < want; i++ {
+			if i > 5000 {
+				t.Errorf("observed %d rounds, want %d", lb.RoundsObserved(), want)
+				break
+			}
+			SleepOutside(100 * time.Microsecond)
+		}
+		// Final rung at quiesce, so the shed counters stay zero and the
+		// weighted trees stay comparable.
+		lb.SetScopeMode(ModeSummary)
+		if lb.ScopeMode() != ModeSummary {
+			t.Errorf("mode %v after final rung, want summary-only", lb.ScopeMode())
+		}
+		rec.Stop()
+		if err := rec.Err(); err != nil {
+			return err
+		}
+		if rate := lb.GatherRate(); rate < 1 {
+			t.Errorf("degraded run lost tuples (gather rate %v) despite idle breaker", rate)
+		}
+		if st := lb.IngestStats(); st.ShedBatches != 0 || st.ShedTuples != 0 {
+			t.Errorf("ingest shed %d batches / %d tuples in an unloaded run", st.ShedBatches, st.ShedTuples)
+		}
+		if err := viz.Modes(&liveModes, scopeName, lb.ScopeModeLog()); err != nil {
+			return err
+		}
+		if err := viz.WeightedTree(&liveTree, lb.Weighted()); err != nil {
+			return err
+		}
+		sys.Close()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayModes(r, scopeName, ArchiveQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := rep.Changes()
+	if len(changes) != 2 {
+		t.Fatalf("replayed %d mode transitions, want 2 (got %+v)", len(changes), changes)
+	}
+	if changes[0].From != ModeStrict || changes[0].To != ModeBounded ||
+		changes[1].From != ModeBounded || changes[1].To != ModeSummary {
+		t.Fatalf("replayed ladder %+v, want strict->bounded->summary", changes)
+	}
+	var repModes bytes.Buffer
+	if err := viz.Modes(&repModes, scopeName, changes); err != nil {
+		t.Fatal(err)
+	}
+	if liveModes.String() != repModes.String() {
+		t.Fatalf("mode history diverged\n--- live ---\n%s--- replay ---\n%s",
+			liveModes.String(), repModes.String())
+	}
+	// The interleaved control tuples must not perturb the data replay.
+	infos, err := ReadArchiveMeta(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	larep, err := ReplayLastArrival(r, infos, ArchiveQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost := larep.Lost(); lost != 0 {
+		t.Fatalf("data replay evicted %d rounds", lost)
+	}
+	var repTree bytes.Buffer
+	if err := viz.WeightedTree(&repTree, larep.Weighted()); err != nil {
+		t.Fatal(err)
+	}
+	if liveTree.String() != repTree.String() {
+		t.Fatalf("degraded run's data diverged from its archive\n--- live ---\n%s--- replay ---\n%s",
+			liveTree.String(), repTree.String())
+	}
+	if repTree.Len() == 0 || repModes.Len() == 0 {
+		t.Fatal("empty renderings compared")
+	}
+}
+
 func TestFacadeTopologies(t *testing.T) {
 	for _, spec := range []TestbedSpec{
 		SingleTin(4), LANMulti(3, 3), LANMultiFour(3, 2, 2), WANMulti(2, 2, 1, 0),

@@ -3,11 +3,14 @@
 // per-child health guards. A deterministic fault plan first crashes a
 // *gateway*: the reconfig manager repairs the scope tree at runtime by
 // re-parenting the orphaned host chains, and monitoring continues through
-// the repaired paths. A second plan then crashes one compute host: the
+// the repaired paths. A straggler storm then slows one compute host 100x:
+// the monitor walks its degradation ladder (strict -> bounded-staleness
+// -> summary-only), circuit-breaking the straggler at the round deadline
+// instead of stalling. Finally a plan crashes one compute host: the
 // monitor degrades to partial coverage (reporting who is missing) instead
 // of failing, and recovers on its own once the host restarts — the
-// robustness layers of DESIGN.md's "Fault model" and "Runtime
-// reconfiguration".
+// robustness layers of DESIGN.md's "Fault model", "Runtime
+// reconfiguration" and "Degraded monitoring modes".
 package main
 
 import (
@@ -39,6 +42,15 @@ func main() {
 		cfg.PullInterval = 400 * time.Microsecond
 		cfg.Health = &eventspace.HealthPolicy{DeadAfter: 2, ProbeBase: 2 * time.Millisecond, ProbeMax: 20 * time.Millisecond}
 		cfg.Retry = &eventspace.RetryPolicy{MaxAttempts: 2, BaseBackoff: 200 * time.Microsecond}
+		// Straggler circuit breakers for the degradation-ladder phase:
+		// pass-through while the scope stays in strict mode.
+		cfg.Breaker = &eventspace.BreakerPolicy{
+			RoundDeadline:  2 * time.Millisecond,
+			TripAfter:      2,
+			ReopenBase:     4 * time.Millisecond,
+			ReopenMax:      40 * time.Millisecond,
+			StalenessBound: 100 * time.Millisecond,
+		}
 		lb, err := sys.AttachLoadBalance(tree, eventspace.SingleScope, cfg)
 		if err != nil {
 			return err
@@ -109,7 +121,69 @@ func main() {
 		fmt.Printf("rounds observed through repaired tree: %d (was %d)\n", lb.RoundsObserved(), before)
 		viz.RepairPlans(os.Stdout, mgr.Plans())
 
-		// Phase 4: a second fault plan crashes one compute host. The
+		// Phase 4: graceful overload degradation. A *straggler* this
+		// time, not a crash: FaultSlow inflates one compute host's
+		// service time 100x, so a strict gather round would wait several
+		// milliseconds on it. Stepping the ladder down to
+		// bounded-staleness cuts the straggler off at the breaker's round
+		// deadline: rounds stay fast, coverage names the host as stale
+		// (served from its last delivered data, age-bounded) or skipped,
+		// and every rung change is logged as a first-class mode event.
+		// The straggler must be a monitored source: the tree places its
+		// wrappers (and trace buffers) on the per-cluster node hosts, so
+		// slow the iron cluster's node host.
+		slowpoke := sys.Testbed().Clusters[1].Hosts()[0]
+		net.InjectFaults(eventspace.FaultPlan{
+			Seed:   7,
+			Events: []eventspace.FaultEvent{{Kind: eventspace.FaultSlow, Host: slowpoke.Name(), Factor: 100}},
+		})
+		lb.SetScopeMode(eventspace.ModeBounded)
+		if _, err := sys.RunWorkload(eventspace.Workload{
+			Trees: []*eventspace.Tree{tree}, Iterations: 150, Compute: 200 * time.Microsecond,
+		}); err != nil {
+			return err
+		}
+		degraded := func(c eventspace.Coverage) bool {
+			for _, h := range append(append([]string{}, c.Stale...), c.Skipped...) {
+				if h == slowpoke.Name() {
+					return true
+				}
+			}
+			return false
+		}
+		if !waitCoverage(degraded) {
+			return fmt.Errorf("straggler %s never reported stale/skipped: %+v", slowpoke.Name(), lb.Coverage())
+		}
+		cov := lb.Coverage()
+		fmt.Printf("degraded (bounded):    straggler %s  stale %v  skipped %v  staleness bound %v\n",
+			slowpoke.Name(), cov.Stale, cov.Skipped, cov.Bound)
+		var trips uint64
+		for _, brh := range lb.Breakers() {
+			trips += brh.Trips
+		}
+		fmt.Printf("breaker trips so far: %d\n", trips)
+
+		// The last rung, summary-only, additionally sheds gathered
+		// payloads at the ingest queue, keeping aggregate counts.
+		lb.SetScopeMode(eventspace.ModeSummary)
+		if _, err := sys.RunWorkload(eventspace.Workload{
+			Trees: []*eventspace.Tree{tree}, Iterations: 100, Compute: 200 * time.Microsecond,
+		}); err != nil {
+			return err
+		}
+		for i := 0; i < 4000 && lb.IngestStats().SummarizedBatches == 0; i++ {
+			eventspace.SleepOutside(time.Millisecond)
+		}
+		st := lb.IngestStats()
+		fmt.Printf("summary-only: %d batches (%d tuples) folded to counters\n",
+			st.SummarizedBatches, st.SummarizedTuples)
+
+		// The straggler recovers; climb back to strict and continue.
+		net.ClearFaults()
+		lb.SetScopeMode(eventspace.ModeStrict)
+		viz.Modes(os.Stdout, lb.Scope().Name(), lb.ScopeModeLog())
+
+		// Phase 5: a second fault plan crashes one compute host. The
 		// monitor's pulls keep succeeding on partial data; the health
 		// guards declare the host dead and coverage reports the gap.
 		// (Crashing a compute host also resets its application-tree
@@ -126,7 +200,7 @@ func main() {
 		report("after crash:")
 		fmt.Printf("monitor still answering: rounds observed %d\n", lb.RoundsObserved())
 
-		// Phase 5: restart the host. Backed-off probes redial, the guard
+		// Phase 6: restart the host. Backed-off probes redial, the guard
 		// recovers, and coverage closes without operator action.
 		net.ClearFaults()
 		net.InjectFaults(eventspace.FaultPlan{

@@ -1,0 +1,70 @@
+// Control tuples. Real event collectors are numbered from 1, leaving
+// collector id 0 free as a control channel inside the 28-byte tuple
+// format. A monitor's degradation-mode transitions (strict →
+// bounded-staleness → summary-only) are encoded as control tuples and
+// appended to the trace archive alongside ordinary data, so replaying an
+// archive reproduces not just what a degraded run observed but when and
+// how it degraded — byte-identically.
+package collect
+
+import (
+	"eventspace/internal/hrtime"
+	"eventspace/internal/paths"
+)
+
+// ControlECID is the reserved collector id carried by control tuples.
+// Registry-assigned collector ids start at 1, so id 0 never collides
+// with trace data.
+const ControlECID uint32 = 0
+
+// HashName is the FNV-64 hash used to tie control tuples to the scope
+// they describe: tuple space has no room for a name, so the scope's name
+// hash rides in the End field.
+func HashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ModeTuple is a decoded degradation-mode transition: scope identity (as
+// a name hash), the mode ladder rungs moved between, a per-scope
+// transition sequence number, and the modelled-time stamp.
+type ModeTuple struct {
+	ScopeHash uint64
+	From, To  uint8
+	Seq       uint32
+	At        hrtime.Stamp
+}
+
+// EncodeMode packs a mode transition into the standard 28-byte tuple
+// layout: ECID 0, Op OpMode, the two rungs in Ret's bytes, the
+// transition sequence in Seq, the stamp in Start and the scope hash in
+// End.
+func EncodeMode(m ModeTuple) TraceTuple {
+	return TraceTuple{
+		ECID:  ControlECID,
+		Op:    paths.OpMode,
+		Ret:   int16(uint16(m.From)<<8 | uint16(m.To)),
+		Seq:   m.Seq,
+		Start: m.At,
+		End:   hrtime.Stamp(m.ScopeHash),
+	}
+}
+
+// DecodeMode unpacks a mode transition from a trace tuple, reporting
+// false for ordinary data tuples.
+func DecodeMode(t TraceTuple) (ModeTuple, bool) {
+	if t.ECID != ControlECID || t.Op != paths.OpMode {
+		return ModeTuple{}, false
+	}
+	return ModeTuple{
+		ScopeHash: uint64(t.End),
+		From:      uint8(uint16(t.Ret) >> 8),
+		To:        uint8(uint16(t.Ret)),
+		Seq:       t.Seq,
+		At:        t.Start,
+	}, true
+}

@@ -279,6 +279,20 @@ func (s *System) attachArchive(tree *cluster.Tree, pull time.Duration, opts arch
 	return rec, nil
 }
 
+// RecordModes wires a load-balance monitor's degradation-ladder
+// transitions into this archive as control tuples: every mode change —
+// past ones included, via the hook's backlog replay — is appended
+// alongside the trace tuples, so archive replay reproduces a degraded
+// run's mode history byte-identically. Writer appends are serialized
+// internally, so the hook is safe against the recorder's own puller.
+func (r *ArchiveRecorder) RecordModes(lb *monitor.LoadBalance) {
+	lb.SetScopeModeHook(func(ch escope.ModeChange) {
+		// A failing append surfaces through the writer's own error
+		// state at seal time; the mode hook must not block or panic.
+		_ = r.writer.Append([]collect.TraceTuple{monitor.EncodeModeChange(ch)})
+	})
+}
+
 // Writer exposes the recorder's archive writer (e.g. for Stats).
 func (r *ArchiveRecorder) Writer() *archive.Writer { return r.writer }
 

@@ -84,6 +84,16 @@ type Spec struct {
 	// reconnect path, so transient faults are retried before the health
 	// guard ever sees them. nil keeps single-attempt stubs.
 	Retry *paths.RetryPolicy
+	// Breaker, when set (requires Health), wraps every health guard in a
+	// straggler circuit breaker: outside ModeStrict each child call is
+	// bounded by the policy's round deadline, slow children are skipped
+	// and served stale within the staleness bound, and Coverage reports
+	// them as Stale/Skipped. nil keeps unbounded gathers.
+	Breaker *BreakerPolicy
+	// Mode is the scope's initial degradation-ladder rung (ModeStrict
+	// when unset). Change it at runtime with SetMode; every change is
+	// logged and delivered to the mode hook.
+	Mode Mode
 	// Metrics, when set, wires every wrapper the build creates (stubs,
 	// readers, gathers), the scope's pulls and its pullers into the
 	// self-metrics registry. nil disables self-metrics entirely.
@@ -117,11 +127,20 @@ type Scope struct {
 	root    paths.Wrapper
 	readers []*paths.BatchReader
 
-	net       *vnet.Network
-	frontEnd  *vnet.Host
-	gwHelpers int
-	health    *HealthPolicy
-	retry     *paths.RetryPolicy
+	net        *vnet.Network
+	frontEnd   *vnet.Host
+	gwHelpers  int
+	health     *HealthPolicy
+	retry      *paths.RetryPolicy
+	breakerPol *BreakerPolicy
+
+	// Degradation-ladder state: the current mode (read on every breaker
+	// decision, hence atomic) and the transition log with its hook.
+	mode     atomic.Int32
+	modeMu   sync.Mutex
+	modeSeq  uint32
+	modeLog  []ModeChange
+	modeHook func(ModeChange)
 
 	// Connection bookkeeping: the scope tracks exactly the live
 	// connections (redial replaces its stub's entry instead of
@@ -134,6 +153,7 @@ type Scope struct {
 	// Tree state below is mutable at runtime (repair); treeMu guards it.
 	treeMu       sync.Mutex
 	guards       []*guard
+	breakers     []*breaker
 	coverPaths   map[string][]*guard // source host name -> guards on its path
 	clusters     map[string]*clusterLink
 	clusterOrder []string
@@ -153,6 +173,10 @@ type Scope struct {
 	cHealthRecoveries *metrics.Counter
 	cStubRetries      *metrics.Counter
 	cStubRedials      *metrics.Counter
+	cBreakerTrips     *metrics.Counter
+	cBreakerOverruns  *metrics.Counter
+	cBreakerSkips     *metrics.Counter
+	cBreakerStale     *metrics.Counter
 }
 
 // addConn tracks a live connection. It reports false — and closes the
@@ -236,8 +260,27 @@ func (s *Scope) stubTo(label string, from, to *vnet.Host, entry paths.Wrapper, r
 	g := newGuard(name+"!guard", to.Name(), from, stub, s.health)
 	g.role, g.cluster = role, cluster
 	g.mFaults, g.mDeaths, g.mRecoveries = s.cHealthFaults, s.cHealthDeaths, s.cHealthRecoveries
-	g.notify = func(tr Transition) { s.dispatch(g, tr) }
-	return g, g, stub
+	if s.breakerPol == nil {
+		g.notify = func(tr Transition) { s.dispatch(g, tr) }
+		return g, g, stub
+	}
+	// Breaker -> guard -> stub: the breaker bounds each round's wait on
+	// the child, the guard underneath absorbs transport faults. Guard
+	// transitions drive the breaker before fanning out to the scope's
+	// hook. The breaker registers itself here (Build runs
+	// single-threaded; repair callers hold treeMu) so the repair
+	// primitives get breakers on rebuilt links for free.
+	br := newBreaker(name+"!breaker", to.Name(), from, g, s.breakerPol, &s.mode)
+	g.br = br
+	br.op = s.met.Op(metrics.KindBreaker, br.name)
+	br.mTrips, br.mOverruns = s.cBreakerTrips, s.cBreakerOverruns
+	br.mSkips, br.mStales = s.cBreakerSkips, s.cBreakerStale
+	g.notify = func(tr Transition) {
+		br.onGuardTransition(tr)
+		s.dispatch(g, tr)
+	}
+	s.breakers = append(s.breakers, br)
+	return br, g, stub
 }
 
 // dispatch fans a guard transition out: hosts whose cover path includes
@@ -302,6 +345,9 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 	if len(spec.Sources) == 0 {
 		return nil, fmt.Errorf("escope: %q: no sources", spec.Name)
 	}
+	if spec.Breaker != nil && spec.Health == nil {
+		return nil, fmt.Errorf("escope: %q: Breaker requires Health (breakers wrap health guards)", spec.Name)
+	}
 	s := &Scope{
 		name:        spec.Name,
 		net:         net,
@@ -309,6 +355,7 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 		gwHelpers:   spec.GatewayHelpers,
 		health:      spec.Health,
 		retry:       spec.Retry,
+		breakerPol:  spec.Breaker,
 		conns:       make(map[*vnet.Conn]struct{}),
 		coverPaths:  make(map[string][]*guard),
 		clusters:    make(map[string]*clusterLink),
@@ -323,6 +370,10 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 	s.cHealthRecoveries = s.met.Counter(spec.Name + "/health.recoveries")
 	s.cStubRetries = s.met.Counter(spec.Name + "/stub.retries")
 	s.cStubRedials = s.met.Counter(spec.Name + "/stub.redials")
+	s.cBreakerTrips = s.met.Counter(spec.Name + "/breaker.trips")
+	s.cBreakerOverruns = s.met.Counter(spec.Name + "/breaker.overruns")
+	s.cBreakerSkips = s.met.Counter(spec.Name + "/breaker.skips")
+	s.cBreakerStale = s.met.Counter(spec.Name + "/breaker.stale")
 
 	// Per-host chains: reader (+ transform), grouped by host.
 	type hostChains struct {
@@ -475,6 +526,7 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 	// (the legacy shape, one less wrapper on the pull path).
 	if spec.Health == nil && len(rootChildren) == 1 {
 		s.root = rootChildren[0]
+		s.SetMode(spec.Mode)
 		return s, nil
 	}
 	root, err := s.instrumentGather(paths.NewGather(spec.Name+"/root", spec.FrontEnd, rootChildren, spec.RootHelpers))
@@ -485,7 +537,76 @@ func Build(net *vnet.Network, spec Spec) (*Scope, error) {
 	if spec.Health != nil {
 		s.rootG = root
 	}
+	s.SetMode(spec.Mode)
 	return s, nil
+}
+
+// SetMode moves the scope to a degradation-ladder rung. A real change
+// (the initial Build call included, when the spec starts off-strict) is
+// appended to the mode log and delivered to the mode hook outside every
+// scope lock. Safe to call at any time; breakers observe the new mode on
+// their next decision.
+func (s *Scope) SetMode(m Mode) {
+	s.modeMu.Lock()
+	cur := Mode(s.mode.Load())
+	if cur == m {
+		s.modeMu.Unlock()
+		return
+	}
+	s.mode.Store(int32(m))
+	ch := ModeChange{Scope: s.name, From: cur, To: m, Seq: s.modeSeq, At: hrtime.Now()}
+	s.modeSeq++
+	s.modeLog = append(s.modeLog, ch)
+	hook := s.modeHook
+	s.modeMu.Unlock()
+	if hook != nil {
+		hook(ch)
+	}
+}
+
+// Mode returns the scope's current degradation-ladder rung.
+func (s *Scope) Mode() Mode { return Mode(s.mode.Load()) }
+
+// ModeLog returns every mode transition so far, in order.
+func (s *Scope) ModeLog() []ModeChange {
+	s.modeMu.Lock()
+	defer s.modeMu.Unlock()
+	out := make([]ModeChange, len(s.modeLog))
+	copy(out, s.modeLog)
+	return out
+}
+
+// SetModeHook installs (or, with nil, removes) the function receiving
+// every mode transition. Transitions that already happened — including
+// the Build-time one when the scope starts off-strict — are replayed
+// into the hook immediately, so a late-attached recorder (the archive)
+// still captures the full mode history. The hook runs outside scope
+// locks and must not block.
+func (s *Scope) SetModeHook(fn func(ModeChange)) {
+	s.modeMu.Lock()
+	s.modeHook = fn
+	backlog := make([]ModeChange, len(s.modeLog))
+	copy(backlog, s.modeLog)
+	s.modeMu.Unlock()
+	if fn == nil {
+		return
+	}
+	for _, ch := range backlog {
+		fn(ch)
+	}
+}
+
+// Breakers returns a snapshot of every straggler circuit breaker in the
+// scope (empty without a BreakerPolicy).
+func (s *Scope) Breakers() []BreakerHealth {
+	s.treeMu.Lock()
+	brs := append([]*breaker(nil), s.breakers...)
+	s.treeMu.Unlock()
+	out := make([]BreakerHealth, 0, len(brs))
+	for _, br := range brs {
+		out = append(out, br.snapshot())
+	}
+	return out
 }
 
 // Name returns the scope's name.
@@ -540,12 +661,29 @@ func (s *Scope) Coverage() Coverage {
 	s.treeMu.Lock()
 	defer s.treeMu.Unlock()
 	cov := Coverage{Expected: len(s.coverPaths)}
+	if s.breakerPol != nil {
+		cov.Bound = s.breakerPol.stalenessBound()
+	}
 	now := hrtime.Now()
 	var oldest hrtime.Stamp = -1
 	for host, path := range s.coverPaths {
 		dead := false
+		stale, skipped := false, false
 		var heard hrtime.Stamp = -1
 		for _, g := range path {
+			if br := g.br; br != nil {
+				bs := br.snapshot()
+				if bs.State != BreakerClosed {
+					// A tripped breaker on the path: the host is served
+					// stale while its data is within the bound, and
+					// outright skipped beyond it.
+					if bs.HasData && now-bs.LastData <= hrtime.Stamp(cov.Bound) {
+						stale = true
+					} else {
+						skipped = true
+					}
+				}
+			}
 			snap := g.snapshot()
 			if snap.State == Dead {
 				dead = true
@@ -579,9 +717,17 @@ func (s *Scope) Coverage() Coverage {
 			if s.everMissing[host] {
 				cov.Recovered++
 			}
+			switch {
+			case skipped:
+				cov.Skipped = append(cov.Skipped, host)
+			case stale:
+				cov.Stale = append(cov.Stale, host)
+			}
 		}
 	}
 	sort.Strings(cov.Missing)
+	sort.Strings(cov.Stale)
+	sort.Strings(cov.Skipped)
 	if oldest >= 0 {
 		cov.Staleness = time.Duration(now - oldest)
 	}

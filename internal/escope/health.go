@@ -163,6 +163,11 @@ type guard struct {
 	// here at build time.
 	notify func(Transition)
 
+	// br is the straggler circuit breaker wrapping this guard, when the
+	// scope has a BreakerPolicy; Coverage consults it to classify the
+	// guarded host as stale or skipped.
+	br *breaker
+
 	mu        sync.Mutex
 	state     ChildState
 	fails     int
@@ -362,6 +367,19 @@ type Coverage struct {
 	// Staleness is the age of the oldest last-successful gather over all
 	// guarded paths (zero when the scope has no guards).
 	Staleness time.Duration
+	// Stale names the hosts currently behind a non-closed circuit
+	// breaker whose last delivered data is still within the breaker
+	// policy's staleness bound: rounds skip them but the monitor is
+	// coasting on data no older than the bound. Sorted.
+	Stale []string
+	// Skipped names the hosts currently behind an open or half-open
+	// breaker with no data within the bound — a coverage gap beyond the
+	// staleness contract (like Missing, but driven by slowness rather
+	// than death). Sorted.
+	Skipped []string
+	// Bound is the breaker policy's staleness bound (zero without
+	// breakers), for reporting alongside Stale.
+	Bound time.Duration
 }
 
 // Complete reports full coverage.

@@ -212,6 +212,163 @@ func TestPullerSinkErrorBackoff(t *testing.T) {
 	}
 }
 
+// TestCloseConcurrentWithRedialStorm is the regression test for the
+// sticky-close race under load: pullers redialling dead connections
+// while Close runs concurrently. The addConn/closed handshake must
+// guarantee that whichever side wins, no connection outlives Close —
+// a redial that lands after Close is refused and its fresh connection
+// closed on the spot. Run with -race.
+func TestCloseConcurrentWithRedialStorm(t *testing.T) {
+	r := newRig(t)
+	h := r.c1.Hosts()[0]
+	e := pastset.MustNewElement("t", 64)
+	fill(t, e, []byte{1})
+	scope, err := Build(r.net, Spec{
+		Name:     "closerace",
+		FrontEnd: r.fe,
+		Sources:  []Source{{Host: h, Elem: e, RecSize: 1}},
+		Retry:    &paths.RetryPolicy{MaxAttempts: 3, BaseBackoff: 10 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	// Four pullers drive redials by killing tracked connections between
+	// pulls; one goroutine closes the scope mid-storm.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			ctx := &paths.Ctx{Thread: "storm"}
+			for j := 0; j < 20; j++ {
+				killConns(scope)
+				_, _ = scope.Pull(ctx) // errors expected once Close lands
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		time.Sleep(200 * time.Microsecond)
+		scope.Close()
+	}()
+	close(start)
+	wg.Wait()
+	if got := scope.trackedConns(); got != 0 {
+		t.Fatalf("tracked conns = %d after concurrent Close, want 0 (leak past shutdown)", got)
+	}
+	if _, err := scope.Pull(nil); err == nil {
+		t.Fatal("pull succeeded after Close")
+	}
+}
+
+// TestCloseConcurrentWithStartPuller is the regression test for closing
+// a scope while gather threads are being started against it: the pullers
+// must settle into the error backoff (no panic, no leaked connection)
+// and stop cleanly. Run with -race.
+func TestCloseConcurrentWithStartPuller(t *testing.T) {
+	r := newRig(t)
+	h := r.c1.Hosts()[0]
+	e := pastset.MustNewElement("t", 8)
+	fill(t, e, []byte{1})
+	scope, err := Build(r.net, Spec{
+		Name:     "startclose",
+		FrontEnd: r.fe,
+		Sources:  []Source{{Host: h, Elem: e, RecSize: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pullers := make(chan *Puller, 4)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			pullers <- scope.StartPuller(10*time.Microsecond, nil)
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		scope.Close()
+	}()
+	close(start)
+	wg.Wait()
+	close(pullers)
+	for p := range pullers {
+		p.Stop()
+	}
+	if got := scope.trackedConns(); got != 0 {
+		t.Fatalf("tracked conns = %d after Close, want 0", got)
+	}
+}
+
+// TestCloseConcurrentWithBreakerInflight is the regression test for
+// sticky Close racing the breaker's background calls: outside strict
+// mode an overrunning child call keeps running past its round deadline
+// on a breaker goroutine, and Close must not race its stub's connection
+// use or leave its redial attempts tracked. Run with -race.
+func TestCloseConcurrentWithBreakerInflight(t *testing.T) {
+	r := newRig(t)
+	h0, h1 := r.c1.Hosts()[0], r.c1.Hosts()[1]
+	e0 := pastset.MustNewElement("t0", 64)
+	e1 := pastset.MustNewElement("t1", 64)
+	fill(t, e0, []byte{1})
+	fill(t, e1, []byte{2})
+	scope, err := Build(r.net, Spec{
+		Name:     "brkclose",
+		FrontEnd: r.fe,
+		Sources: []Source{
+			{Host: h0, Elem: e0, RecSize: 1},
+			{Host: h1, Elem: e1, RecSize: 1},
+		},
+		Retry:  &paths.RetryPolicy{MaxAttempts: 2, BaseBackoff: 10 * time.Microsecond},
+		Health: &HealthPolicy{},
+		// A deadline far below the rig's modelled RTT: every round
+		// overruns, parking an inflight call on a breaker goroutine.
+		Breaker: &BreakerPolicy{RoundDeadline: time.Nanosecond},
+		Mode:    ModeBounded,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			ctx := &paths.Ctx{Thread: "inflight"}
+			for j := 0; j < 10; j++ {
+				_, _ = scope.Pull(ctx)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		time.Sleep(100 * time.Microsecond)
+		scope.Close()
+	}()
+	close(start)
+	wg.Wait()
+	// Let parked inflight calls run into the closed connections and
+	// finish their accounting before the final bookkeeping check.
+	time.Sleep(2 * time.Millisecond)
+	if got := scope.trackedConns(); got != 0 {
+		t.Fatalf("tracked conns = %d after Close with inflight breaker calls, want 0", got)
+	}
+}
+
 // TestCoverageStalenessUnprovenGuard is the regression test for coverage
 // staleness: a guard that never succeeded reports its build time as
 // LastOK, which pinned Staleness to the age of the scope (the whole run

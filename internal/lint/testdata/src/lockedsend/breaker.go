@@ -1,0 +1,58 @@
+package lockedsend
+
+import "sync"
+
+// breaker is the straggler-circuit-breaker shape from escope: state
+// guarded by a mutex, with observers notified on a channel when the
+// breaker trips. The deadlock class under test: a trip decided while
+// holding the state mutex must not block on the notify channel — the
+// observer might be stuck behind that same mutex reading breaker
+// health.
+type breaker struct {
+	mu     sync.Mutex
+	open   bool
+	trips  uint64
+	notify chan struct{}
+}
+
+// badTrip trips and notifies under the held state mutex.
+func (b *breaker) badTrip() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.open = true
+	b.trips++
+	b.notify <- struct{}{} // want `channel send b\.notify <- \.\.\. while holding b\.mu`
+}
+
+// goodTrip decides under the mutex, notifies after releasing it.
+func (b *breaker) goodTrip() {
+	b.mu.Lock()
+	b.open = true
+	b.trips++
+	b.mu.Unlock()
+	b.notify <- struct{}{}
+}
+
+// goodTripNonBlocking: a select with default cannot block, so a
+// best-effort wakeup under the mutex is allowed.
+func (b *breaker) goodTripNonBlocking() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.open = true
+	b.trips++
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+}
+
+// badHalfOpenProbe blocks on the observer channel inside a blocking
+// select while the breaker mutex is held across the trial decision.
+func (b *breaker) badHalfOpenProbe(result chan error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.notify <- struct{}{}: // want `blocking select send b\.notify <- \.\.\. while holding b\.mu`
+	case <-result:
+	}
+}

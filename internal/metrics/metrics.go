@@ -57,6 +57,14 @@ const (
 	// front-end monitor state from the archive on failover. The
 	// histogram is the repair latency distribution.
 	KindReconfig
+	// KindBreaker measures a straggler circuit breaker's guarded calls:
+	// the latency of deadline-bounded child gathers (overruns and skips
+	// are accounted in the scope's breaker counters).
+	KindBreaker
+	// KindIngest measures a monitor's bounded ingest-queue drain: the
+	// time from a gathered batch's enqueue to its application, with bytes
+	// counting the batch payload (sheds are accounted in counters).
+	KindIngest
 	numKinds
 )
 
@@ -77,6 +85,10 @@ func (k Kind) String() string {
 		return "archive"
 	case KindReconfig:
 		return "reconfig"
+	case KindBreaker:
+		return "breaker"
+	case KindIngest:
+		return "ingest"
 	default:
 		return "kind(?)"
 	}

@@ -116,6 +116,7 @@ type LoadBalance struct {
 	scope    *escope.Scope
 	puller   *escope.Puller
 	weighted *WeightedTree
+	ingest   *collect.IngestQueue
 
 	feElems map[uint32]*pastset.Element // per collective wrapper, on the front-end
 	names   map[uint32]string           // wrapper id -> node name
@@ -190,7 +191,22 @@ func newLoadBalance(tb *cluster.Testbed, tree *cluster.Tree, mode LoadBalanceMod
 	spec.RootHelpers = cfg.RootHelpers
 	spec.Health = cfg.Health
 	spec.Retry = cfg.Retry
+	spec.Breaker = cfg.Breaker
+	spec.Mode = cfg.ScopeMode
 	spec.Metrics = cfg.Metrics
+
+	// The ingest queue decouples the gather thread from the front-end
+	// analysis: the puller pushes gathered batches, a drainer applies
+	// them, and under overload the oldest batch is shed instead of the
+	// event-scope tree stalling. In summary-only mode it folds batches
+	// into counters without retaining payloads.
+	lb.ingest = collect.NewIngestQueue(cfg.IngestCap)
+	lb.ingest.SetMetrics(
+		cfg.Metrics.Counter(spec.Name+"/ingest.shed.batches"),
+		cfg.Metrics.Counter(spec.Name+"/ingest.shed.tuples"))
+	if cfg.ScopeMode == escope.ModeSummary {
+		lb.ingest.SetSummaryOnly(true)
+	}
 
 	switch mode {
 	case SingleScope:
@@ -430,9 +446,35 @@ func (lb *LoadBalance) Start() {
 			}
 			return lb.feElems[r.Node], nil // unknown nodes filtered (nil)
 		})
+	// The gather thread only enqueues; applying records to the front-end
+	// buffers happens on the drainer thread below. Push never blocks and
+	// never fails, so a slow front-end analysis can no longer stall the
+	// event-scope tree — it sheds the oldest undigested batch instead.
 	lb.puller = lb.scope.StartPuller(lb.cfg.PullInterval, func(rep paths.Reply) error {
-		_, err := scatter.Op(nil, paths.Request{Kind: paths.OpWrite, Data: rep.Data})
-		return err
+		lb.ingest.Push(rep.Data)
+		return nil
+	})
+	lb.wg.Add(1)
+	vclock.Go(func() {
+		defer lb.wg.Done()
+		for {
+			data, ok := lb.ingest.Pop()
+			if !ok {
+				select {
+				case <-lb.stop:
+					// Stop halts the puller before closing lb.stop, so
+					// an empty queue here is final: everything gathered
+					// was applied.
+					return
+				default:
+				}
+				hrtime.SleepUnscaled(50 * time.Microsecond)
+				continue
+			}
+			// Scatter filters unknown records itself; a decode error in
+			// one batch must not kill the drainer.
+			_, _ = scatter.Op(nil, paths.Request{Kind: paths.OpWrite, Data: data})
+		}
 	})
 	// Updater thread: reads the front-end buffers and maintains the
 	// weighted tree used by visualizations.
@@ -487,10 +529,13 @@ func (lb *LoadBalance) Stop() {
 		if lb.cs != nil {
 			lb.cs.CloseAll()
 		}
-		close(lb.stop)
+		// The puller stops before lb.stop closes so the ingest drainer
+		// can treat empty-queue-and-stopped as "fully drained" — no
+		// gathered batch is lost at a clean shutdown.
 		if lb.puller != nil {
 			lb.puller.Stop()
 		}
+		close(lb.stop)
 		lb.wg.Wait()
 		lb.scope.Close()
 		// The front-end analysis buffers die with the monitor: a
@@ -554,3 +599,32 @@ func (lb *LoadBalance) Coverage() escope.Coverage { return lb.scope.Coverage() }
 
 // ChildHealth snapshots the health guards of the monitor's event scope.
 func (lb *LoadBalance) ChildHealth() []escope.ChildHealth { return lb.scope.Health() }
+
+// SetScopeMode moves the monitor along the degradation ladder: the event
+// scope's breakers observe the new rung on their next decision, and
+// summary-only additionally sheds gathered payloads at the ingest queue,
+// keeping only aggregate counts. Every change is logged by the scope and
+// delivered to the mode hook (see SetScopeModeHook).
+func (lb *LoadBalance) SetScopeMode(m escope.Mode) {
+	lb.scope.SetMode(m)
+	lb.ingest.SetSummaryOnly(m == escope.ModeSummary)
+}
+
+// ScopeMode returns the current degradation-ladder rung.
+func (lb *LoadBalance) ScopeMode() escope.Mode { return lb.scope.Mode() }
+
+// ScopeModeLog returns every mode transition so far, in order.
+func (lb *LoadBalance) ScopeModeLog() []escope.ModeChange { return lb.scope.ModeLog() }
+
+// SetScopeModeHook installs the function receiving every mode
+// transition (past transitions are replayed into it on install). The
+// archive recorder uses it to persist mode changes as control tuples.
+func (lb *LoadBalance) SetScopeModeHook(fn func(escope.ModeChange)) { lb.scope.SetModeHook(fn) }
+
+// IngestStats snapshots the monitor's ingest-queue accounting (shed and
+// summarized batches under overload).
+func (lb *LoadBalance) IngestStats() collect.IngestStats { return lb.ingest.Stats() }
+
+// Breakers snapshots the straggler circuit breakers of the monitor's
+// event scope (empty without a Config.Breaker policy).
+func (lb *LoadBalance) Breakers() []escope.BreakerHealth { return lb.scope.Breakers() }

@@ -61,6 +61,21 @@ type Config struct {
 	// event scopes (transient faults are retried with backoff and a
 	// reconnect path before the health guard counts them).
 	Retry *paths.RetryPolicy
+	// Breaker, when set (requires Health), wraps every health guard in a
+	// straggler circuit breaker: outside escope.ModeStrict each gather
+	// round's wait on a child is bounded by the policy's round deadline
+	// and slow children are skipped and served stale within the
+	// staleness bound. nil keeps unbounded gathers.
+	Breaker *escope.BreakerPolicy
+	// ScopeMode is the monitor scope's initial degradation-ladder rung
+	// (escope.ModeStrict when unset). Move it at runtime with the
+	// monitor's SetScopeMode.
+	ScopeMode escope.Mode
+	// IngestCap bounds the monitor's ingest queue, in gathered batches
+	// (0: collect.DefaultIngestCap). When analysis falls behind the
+	// gather thread, the oldest undigested batch is shed instead of
+	// stalling the event-scope tree.
+	IngestCap int
 	// Metrics, when set, wires the monitor's event scopes and stubs into
 	// the self-metrics registry ("monitor the monitor"). nil disables.
 	Metrics *metrics.Registry

@@ -37,6 +37,11 @@ type OpKind uint16
 const (
 	OpWrite OpKind = iota + 1 // write a value/tuple (allreduce contributions are writes)
 	OpRead                    // read tuples (event scopes pull trace data)
+	// OpMode marks a control tuple: a monitor degradation-mode transition
+	// recorded into the trace stream so archive replay reproduces
+	// degraded runs. Control tuples carry the reserved collector id 0 and
+	// never travel down a path as requests.
+	OpMode
 )
 
 // String returns the conventional name of the operation kind.
@@ -46,6 +51,8 @@ func (k OpKind) String() string {
 		return "write"
 	case OpRead:
 		return "read"
+	case OpMode:
+		return "mode"
 	default:
 		return fmt.Sprintf("op(%d)", uint16(k))
 	}

@@ -16,6 +16,7 @@ import (
 
 	"eventspace/internal/analysis"
 	"eventspace/internal/cluster"
+	"eventspace/internal/escope"
 	"eventspace/internal/monitor"
 )
 
@@ -170,6 +171,27 @@ func GatherReport(w io.Writer, label string, rate float64, pulls uint64) error {
 	}
 	_, err := fmt.Fprintf(w, "%s: gather rate %5.1f%% over %d pulls (%s)\n", label, rate*100, pulls, status)
 	return err
+}
+
+// Modes renders a scope's degradation-ladder history: one line per mode
+// transition, stamped in modelled time. Live (Scope.ModeLog) and
+// archive-replayed (monitor.ModeReplay.Changes) histories render
+// byte-identically when the run was recorded faithfully.
+func Modes(w io.Writer, label string, changes []escope.ModeChange) error {
+	if _, err := fmt.Fprintf(w, "== degradation ladder: %s ==\n", label); err != nil {
+		return err
+	}
+	if len(changes) == 0 {
+		_, err := fmt.Fprintln(w, "  (never left strict mode)")
+		return err
+	}
+	for _, ch := range changes {
+		if _, err := fmt.Fprintf(w, "  #%-3d %12v  %s -> %s\n",
+			ch.Seq, time.Duration(ch.At), ch.From, ch.To); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Topology renders the testbed: clusters, hosts, gateways and the WAN

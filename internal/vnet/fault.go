@@ -55,6 +55,16 @@ const (
 	// in-flight and queued calls fail with ErrConnClosed, and redialling
 	// succeeds immediately.
 	FaultReset
+	// FaultSlow turns the named host (or every host of the named cluster)
+	// into a straggler: the service time of every message the host serves
+	// is inflated by the event's Factor. The host stays up and calls still
+	// succeed — they just take Factor times the modelled communication
+	// work, with a seeded per-message jitter, so gathers stall instead of
+	// failing. The deterministic delay sequence is exposed by
+	// FaultPlan.SlowSequence.
+	FaultSlow
+	// FaultFast clears a FaultSlow on the named host or cluster.
+	FaultFast
 )
 
 func (k FaultKind) String() string {
@@ -69,6 +79,10 @@ func (k FaultKind) String() string {
 		return "heal"
 	case FaultReset:
 		return "reset"
+	case FaultSlow:
+		return "slow"
+	case FaultFast:
+		return "fast"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
@@ -79,10 +93,15 @@ type FaultEvent struct {
 	// event fires.
 	At   time.Duration
 	Kind FaultKind
-	// Host names the target host (crash, restart, reset).
+	// Host names the target host (crash, restart, reset, slow, fast).
 	Host string
-	// Cluster names the target cluster (partition, heal, reset).
+	// Cluster names the target cluster (partition, heal, reset, slow,
+	// fast).
 	Cluster string
+	// Factor is the service-time multiplier of a FaultSlow event (> 1
+	// slows the host down; values at or below 1 clear the slowdown, like
+	// FaultFast). Ignored by every other kind.
+	Factor float64
 }
 
 // FaultRule injects probabilistic per-message faults on matching traffic.
@@ -172,6 +191,33 @@ func (p FaultPlan) DropSequence(rule FaultRule, from, to string, n int) []bool {
 	return out
 }
 
+// slowExtra returns the extra service delay the plan injects for the
+// n-th message served by a slowed host `from` for client `to`: the base
+// service time scaled by (factor-1) and a deterministic per-message
+// jitter draw in [0.5, 1.5). Leg 4 keeps the draws independent of the
+// drop/spike legs 0-3.
+func (p FaultPlan) slowExtra(from, to string, n uint64, factor float64, base time.Duration) time.Duration {
+	if factor <= 1 || base <= 0 {
+		return 0
+	}
+	scale := 0.5 + p.decide(from, to, n, 4)
+	return time.Duration(float64(base) * (factor - 1) * scale)
+}
+
+// SlowSequence returns the extra service delays a FaultSlow with the
+// given factor would inject for the first n messages served by host from
+// for client to, given the host's base per-message service time. Like
+// DropSequence it is a pure function of the plan — equal seeds produce
+// equal sequences — and exists so tests can assert straggler determinism
+// directly.
+func (p FaultPlan) SlowSequence(from, to string, factor float64, base time.Duration, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = p.slowExtra(from, to, uint64(i), factor, base)
+	}
+	return out
+}
+
 // FaultRecord is one applied scheduled event, for the injector's log.
 type FaultRecord struct {
 	At     time.Duration
@@ -191,11 +237,16 @@ type Injector struct {
 	plan FaultPlan
 
 	mu          sync.Mutex
-	down        map[string]bool // host name -> crashed
-	partitioned map[string]bool // cluster name -> cut off
+	down        map[string]bool    // host name -> crashed
+	partitioned map[string]bool    // cluster name -> cut off
+	slow        map[string]float64 // host name -> service-time factor
 	counters    map[[2]string]uint64
-	log         []FaultRecord
-	stopped     bool
+	// slowCounters sequences served messages per (server, client) pair
+	// for the straggler jitter draws, separate from counters so enabling
+	// FaultSlow never perturbs the drop/spike decision sequence.
+	slowCounters map[[2]string]uint64
+	log          []FaultRecord
+	stopped      bool
 }
 
 // InjectFaults installs plan on the network and starts its event
@@ -204,11 +255,13 @@ type Injector struct {
 // stopped). The returned Injector reports the applied-event log.
 func (n *Network) InjectFaults(plan FaultPlan) *Injector {
 	inj := &Injector{
-		net:         n,
-		plan:        plan,
-		down:        make(map[string]bool),
-		partitioned: make(map[string]bool),
-		counters:    make(map[[2]string]uint64),
+		net:          n,
+		plan:         plan,
+		down:         make(map[string]bool),
+		partitioned:  make(map[string]bool),
+		slow:         make(map[string]float64),
+		counters:     make(map[[2]string]uint64),
+		slowCounters: make(map[[2]string]uint64),
 	}
 	n.faults.Store(inj)
 	events := make([]FaultEvent, len(plan.Events))
@@ -290,6 +343,20 @@ func (inj *Injector) apply(ev FaultEvent) {
 			}
 			return false
 		})
+	case FaultSlow, FaultFast:
+		clear := ev.Kind == FaultFast || ev.Factor <= 1
+		inj.mu.Lock()
+		for _, name := range inj.slowTargets(ev) {
+			if clear {
+				delete(inj.slow, name)
+			} else {
+				inj.slow[name] = ev.Factor
+			}
+		}
+		inj.mu.Unlock()
+		if ev.Kind == FaultSlow && !clear {
+			target = fmt.Sprintf("%s x%g", target, ev.Factor)
+		}
 	}
 	inj.mu.Lock()
 	inj.log = append(inj.log, FaultRecord{At: ev.At, Kind: ev.Kind, Target: target})
@@ -303,6 +370,63 @@ func (inj *Injector) Log() []FaultRecord {
 	out := make([]FaultRecord, len(inj.log))
 	copy(out, inj.log)
 	return out
+}
+
+// slowTargets resolves a slow/fast event to host names: the named host,
+// or every host (gateway included) of the named cluster.
+func (inj *Injector) slowTargets(ev FaultEvent) []string {
+	if ev.Host != "" {
+		return []string{ev.Host}
+	}
+	if ev.Cluster == "" {
+		return nil
+	}
+	cl, err := inj.net.ClusterByName(ev.Cluster)
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(cl.hosts)+1)
+	for _, h := range cl.hosts {
+		names = append(names, h.name)
+	}
+	names = append(names, cl.gateway.name)
+	return names
+}
+
+// slowServe returns the extra service time the injector charges when
+// server handles one message from client: zero unless the server is
+// currently slowed, otherwise a deterministic draw from the plan's slow
+// sequence for the pair.
+func (inj *Injector) slowServe(server, client *Host) time.Duration {
+	inj.mu.Lock()
+	factor, ok := inj.slow[server.name]
+	if !ok {
+		inj.mu.Unlock()
+		return 0
+	}
+	key := [2]string{server.name, client.name}
+	n := inj.slowCounters[key]
+	inj.slowCounters[key] = n + 1
+	inj.mu.Unlock()
+	cost := inj.net.cost
+	base := cost.WakeLatency + cost.RecvCPU + cost.SendCPU
+	return inj.plan.slowExtra(server.name, client.name, n, factor, base)
+}
+
+// SlowFactor reports the active service-time factor for the named host
+// (1 when the host is not slowed). Tests and harness code use it to
+// observe straggler state without reaching into the injector.
+func (n *Network) SlowFactor(h *Host) float64 {
+	inj := n.faults.Load()
+	if inj == nil {
+		return 1
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if f, ok := inj.slow[h.name]; ok {
+		return f
+	}
+	return 1
 }
 
 // hostDown reports whether h is currently crashed.

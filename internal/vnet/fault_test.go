@@ -284,3 +284,100 @@ func TestTCPResetConnsForcesRedial(t *testing.T) {
 		t.Fatalf("post-redial call: %v", err)
 	}
 }
+
+func TestFaultPlanSlowSequenceDeterministic(t *testing.T) {
+	base := 62 * time.Microsecond
+	a := FaultPlan{Seed: 42}.SlowSequence("tin-0", "tin-gw", 8, base, 2000)
+	b := FaultPlan{Seed: 42}.SlowSequence("tin-0", "tin-gw", 8, base, 2000)
+	lo := time.Duration(float64(base) * 7 * 0.5)
+	hi := time.Duration(float64(base) * 7 * 1.5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequence diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < lo || a[i] >= hi {
+			t.Fatalf("delay %d = %v outside [%v, %v)", i, a[i], lo, hi)
+		}
+	}
+	// A different seed yields a different sequence.
+	c := FaultPlan{Seed: 43}.SlowSequence("tin-0", "tin-gw", 8, base, 2000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed 42 and 43 produced identical slow sequences")
+	}
+	// Factor <= 1 injects nothing.
+	for _, d := range (FaultPlan{Seed: 42}).SlowSequence("tin-0", "tin-gw", 1, base, 10) {
+		if d != 0 {
+			t.Fatalf("factor 1 injected %v", d)
+		}
+	}
+}
+
+func TestFaultSlowInflatesServiceTime(t *testing.T) {
+	fastScale(t, 1)
+	n := newTestNet(t)
+	c, _ := n.AddCluster("c", "s", 2, 1, GigabitEthernet)
+	client, server := c.Hosts()[0], c.Hosts()[1]
+	echo := func(p []byte) ([]byte, error) { return p, nil }
+	conn := n.Dial(client, server, echo)
+	defer conn.Close()
+
+	start := time.Now()
+	if _, err := conn.Call([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Since(start)
+
+	n.InjectFaults(FaultPlan{
+		Seed:   3,
+		Events: []FaultEvent{{At: 0, Kind: FaultSlow, Host: server.Name(), Factor: 200}},
+	})
+	defer n.ClearFaults()
+	if !pollUntil(t, 2*time.Second, func() bool { return n.SlowFactor(server) == 200 }) {
+		t.Fatal("slow fault not applied")
+	}
+	start = time.Now()
+	if _, err := conn.Call([]byte{2}); err != nil {
+		t.Fatalf("call to slow host: %v", err)
+	}
+	slowed := time.Since(start)
+	// 199x the 62us base service time jittered by [0.5, 1.5) is >= 6ms.
+	if slowed < base+5*time.Millisecond {
+		t.Fatalf("slowed call took %v (base %v), expected ≥ +5ms", slowed, base)
+	}
+}
+
+func TestFaultFastClearsSlowdown(t *testing.T) {
+	fastScale(t, 1)
+	n := newTestNet(t)
+	c, _ := n.AddCluster("c", "s", 2, 1, GigabitEthernet)
+	client, server := c.Hosts()[0], c.Hosts()[1]
+	echo := func(p []byte) ([]byte, error) { return p, nil }
+	conn := n.Dial(client, server, echo)
+	defer conn.Close()
+
+	n.InjectFaults(FaultPlan{
+		Seed: 5,
+		Events: []FaultEvent{
+			{At: 0, Kind: FaultSlow, Cluster: "c", Factor: 50},
+			{At: time.Millisecond, Kind: FaultFast, Cluster: "c"},
+		},
+	})
+	defer n.ClearFaults()
+	if !pollUntil(t, 2*time.Second, func() bool { return n.SlowFactor(server) == 1 && n.SlowFactor(client) == 1 }) {
+		t.Fatal("fast fault did not clear the cluster slowdown")
+	}
+	start := time.Now()
+	if _, err := conn.Call([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 5*time.Millisecond {
+		t.Fatalf("call after FaultFast took %v, slowdown not cleared", d)
+	}
+}

@@ -427,6 +427,15 @@ func (c *Conn) serve(handler Handler) {
 		// processing charges the server CPU.
 		hrtime.Sleep(c.net.cost.WakeLatency)
 		c.server.Occupy(c.net.cost.RecvCPU)
+		// A straggler host (FaultSlow) serves every message with inflated
+		// CPU work: the extra time occupies a slot, so the slowdown
+		// contends with everything else running on the host — the same
+		// mechanism that makes a genuinely overloaded host slow.
+		if inj := c.net.injector(); inj != nil {
+			if extra := inj.slowServe(c.server, c.client); extra > 0 {
+				c.server.Occupy(extra)
+			}
+		}
 		payload, err := handler(req.payload)
 		// Send-side processing of the reply charges the server CPU.
 		c.server.Occupy(c.net.cost.SendCPU)
