@@ -48,10 +48,22 @@ func TestFacadeQuickstart(t *testing.T) {
 // the trace archive: recording a run and replaying the archive through
 // the load-balance join offline must reproduce the live single-scope
 // monitor's per-round last-arrival verdicts exactly — same weighted
-// tree, byte for byte in the viz rendering. The run is sized so neither
-// side loses tuples (large trace buffers, continuous pulls, no
-// retention), which the test asserts before comparing.
+// tree, byte for byte in the viz rendering — whichever segment format
+// the recorder wrote. The run is sized so neither side loses tuples
+// (large trace buffers, continuous pulls, no retention), which the test
+// asserts before comparing.
 func TestArchiveReplayMatchesLiveLoadBalance(t *testing.T) {
+	for _, format := range []struct {
+		name string
+		f    int
+	}{{"row", ArchiveFormatRow}, {"columnar", ArchiveFormatColumnar}} {
+		t.Run(format.name, func(t *testing.T) {
+			testArchiveReplayMatchesLiveLoadBalance(t, format.f)
+		})
+	}
+}
+
+func testArchiveReplayMatchesLiveLoadBalance(t *testing.T, format int) {
 	dir := t.TempDir()
 	var liveOut bytes.Buffer
 	const iters = 60
@@ -76,7 +88,7 @@ func TestArchiveReplayMatchesLiveLoadBalance(t *testing.T) {
 		// Small segments force several rotations mid-run; no retention
 		// cap, so nothing recorded is deleted.
 		rec, err := sys.AttachArchive(tree, 200*time.Microsecond, ArchiveOptions{
-			Dir: dir, SegmentBytes: 4096,
+			Dir: dir, SegmentBytes: 4096, Format: format,
 		})
 		if err != nil {
 			return err

@@ -1,9 +1,12 @@
 package archive
 
 import (
+	"encoding/binary"
+	"math"
 	"testing"
 
 	"eventspace/internal/collect"
+	"eventspace/internal/paths"
 )
 
 // FuzzSegmentDecode fuzzes the segment parser the reader and the
@@ -29,6 +32,21 @@ func FuzzSegmentDecode(f *testing.F) {
 	f.Add(whole[:segmentHeaderSize+3])   // torn block header
 	f.Add(whole[:segmentHeaderSize-10])  // short header
 	f.Add(append([]byte(nil), whole...)) // mutated below by the engine
+	// The same shapes under the columnar codec.
+	var enc columnarEncoder
+	var colSeg []byte
+	colSeg = append(colSeg, encodeHeader(segmentHeader{ID: 3, Version: segmentVersionCol})...)
+	colSeg = append(colSeg, enc.encodeBlock([]collect.TraceTuple{
+		{ECID: 1, Seq: 0, Start: 10, End: 20},
+		{ECID: 2, Seq: 1, Start: 30, End: 40},
+	})...)
+	colSeg = append(colSeg, enc.encodeBlock([]collect.TraceTuple{
+		{ECID: 3, Seq: 2, Start: 50, End: 60},
+	})...)
+	f.Add(colSeg)
+	f.Add(colSeg[:len(colSeg)-5])              // torn column payload
+	f.Add(colSeg[:segmentHeaderSize+9])        // torn block header/directory
+	f.Add(append([]byte(nil), colSeg...))      // mutated below by the engine
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		res, err := scanSegment(data)
@@ -52,6 +70,66 @@ func FuzzSegmentDecode(f *testing.F) {
 		}
 		if again.Torn || again.Index != res.Index {
 			t.Fatalf("rescan diverged: torn=%v index=%+v want %+v", again.Torn, again.Index, res.Index)
+		}
+	})
+}
+
+// FuzzColumnarRoundTrip fuzzes the columnar block codec's losslessness:
+// any tuple batch — the fuzz input is carved into 28-byte rows, so
+// every field takes adversarial values, overflow stamps included — must
+// encode, frame and decode back exactly.
+func FuzzColumnarRoundTrip(f *testing.F) {
+	seed := make([]byte, 3*collect.TupleSize)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	f.Add(seed)
+	var zeros [collect.TupleSize]byte
+	f.Add(zeros[:])
+	adversarial := collect.TraceTuple{
+		ECID: math.MaxUint32, Op: paths.OpKind(math.MaxUint16), Ret: math.MinInt16,
+		Seq: math.MaxUint32, Start: math.MinInt64, End: math.MaxInt64,
+	}
+	f.Add(adversarial.Encode())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / collect.TupleSize
+		if n == 0 {
+			return
+		}
+		if n > MaxBlockTuples {
+			n = MaxBlockTuples
+		}
+		tuples := make([]collect.TraceTuple, n)
+		for i := range tuples {
+			row := data[i*collect.TupleSize:]
+			tuples[i] = collect.TraceTuple{
+				ECID:  binary.LittleEndian.Uint32(row[0:4]),
+				Op:    paths.OpKind(binary.LittleEndian.Uint16(row[4:6])),
+				Ret:   int16(binary.LittleEndian.Uint16(row[6:8])),
+				Seq:   binary.LittleEndian.Uint32(row[8:12]),
+				Start: int64(binary.LittleEndian.Uint64(row[12:20])),
+				End:   int64(binary.LittleEndian.Uint64(row[20:28])),
+			}
+		}
+		var enc columnarEncoder
+		block := enc.encodeBlock(tuples)
+		fr, ok := frameColumnarBlock(block)
+		if !ok {
+			t.Fatal("encoded block does not frame")
+		}
+		if fr.size != int64(len(block)) {
+			t.Fatalf("frame consumed %d of %d bytes", fr.size, len(block))
+		}
+		var dec blockDecoder
+		got, err := dec.decodeColumnar(&fr)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		for i := range tuples {
+			if got[i] != tuples[i] {
+				t.Fatalf("tuple %d round-tripped to %+v, want %+v", i, got[i], tuples[i])
+			}
 		}
 	})
 }

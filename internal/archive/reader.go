@@ -68,6 +68,7 @@ type SegmentInfo struct {
 	ID     uint32
 	Path   string
 	Bytes  int64
+	Format uint16 // block codec: FormatRow or FormatColumnar
 	Sealed bool
 	Torn   bool // the segment carries a damaged tail (ignored by reads)
 	Index  SegmentIndex
@@ -79,6 +80,8 @@ type ScanStats struct {
 	Segments        int    // segments in the archive
 	SegmentsSkipped int    // skipped wholesale via the header index
 	SegmentsScanned int    // segments whose blocks were read
+	BlocksScanned   uint64 // blocks decoded
+	BlocksSkipped   uint64 // columnar blocks skipped via their dictionaries
 	TuplesScanned   uint64 // tuples decoded
 	TuplesMatched   uint64 // tuples that passed the filters
 	TornSegments    int    // scanned segments with a damaged tail
@@ -125,7 +128,7 @@ func OpenReaderMetrics(dir string, reg *metrics.Registry) (*Reader, error) {
 		if err != nil {
 			return nil, fmt.Errorf("archive: segment %s: %v", s.path, err)
 		}
-		info := SegmentInfo{ID: hdr.ID, Path: s.path, Bytes: s.size, Sealed: hdr.Sealed, Index: hdr.Index}
+		info := SegmentInfo{ID: hdr.ID, Path: s.path, Bytes: s.size, Format: hdr.Version, Sealed: hdr.Sealed, Index: hdr.Index}
 		if !hdr.Sealed {
 			// No trustworthy index: recover it from the blocks.
 			res, err := scanSegment(buf)
@@ -161,6 +164,11 @@ func (r *Reader) Tuples() uint64 {
 // Scan streams every tuple matching q, in archive (write) order,
 // through fn. fn returning false stops the scan early. Damaged tails
 // end a segment's scan without failing the query.
+//
+// Segments are walked block by block into one reused decode batch —
+// never materialized whole — and columnar blocks whose ECID/op
+// dictionaries cannot intersect q are skipped after a dictionary-only
+// CRC check, without decoding any column.
 func (r *Reader) Scan(q Query, fn func(collect.TraceTuple) bool) (ScanStats, error) {
 	stats := ScanStats{Segments: len(r.segs)}
 	start := hrtime.Now()
@@ -168,6 +176,7 @@ func (r *Reader) Scan(q Query, fn func(collect.TraceTuple) bool) (ScanStats, err
 	defer func() {
 		r.opScan.Record(hrtime.Since(start), bytes, nil)
 	}()
+	var dec blockDecoder
 	for _, s := range r.segs {
 		if s.Index.empty() || !s.Index.overlapECIDs(q.ECIDs) || !s.Index.overlapStamps(q.MinStamp, q.MaxStamp) {
 			stats.SegmentsSkipped++
@@ -178,26 +187,69 @@ func (r *Reader) Scan(q Query, fn func(collect.TraceTuple) bool) (ScanStats, err
 			return stats, fmt.Errorf("archive: %v", err)
 		}
 		bytes += len(buf)
-		res, err := scanSegment(buf)
+		h, err := decodeHeader(buf)
 		if err != nil {
 			return stats, fmt.Errorf("archive: segment %s: %v", s.Path, err)
 		}
 		stats.SegmentsScanned++
-		if res.Torn {
-			stats.TornSegments++
+		if scanBlocks(buf, h.Version, &q, &dec, &stats, fn) {
+			return stats, nil
 		}
-		stats.TuplesScanned += uint64(len(res.Tuples))
-		for _, t := range res.Tuples {
+	}
+	return stats, nil
+}
+
+// scanBlocks walks one segment image block by block, skipping columnar
+// blocks the query cannot match, and streams decoded tuples through fn.
+// It reports whether fn stopped the scan. A torn tail ends the walk and
+// is counted, matching the recovery semantics of scanSegment.
+func scanBlocks(buf []byte, version uint16, q *Query, dec *blockDecoder, stats *ScanStats, fn func(collect.TraceTuple) bool) (stopped bool) {
+	off := int64(segmentHeaderSize)
+	for {
+		rest := buf[off:]
+		if len(rest) == 0 {
+			return false
+		}
+		var batch []collect.TraceTuple
+		if version == segmentVersionCol {
+			f, ok := frameColumnarBlock(rest)
+			if !ok {
+				stats.TornSegments++
+				return false
+			}
+			if dec.skipColumnar(&f, q) {
+				stats.BlocksSkipped++
+				off += f.size
+				continue
+			}
+			b, err := dec.decodeColumnar(&f)
+			if err != nil {
+				stats.TornSegments++
+				return false
+			}
+			batch = b
+			off += f.size
+		} else {
+			b, size, ok := decodeNextBlock(version, rest, dec)
+			if !ok {
+				stats.TornSegments++
+				return false
+			}
+			batch = b
+			off += size
+		}
+		stats.BlocksScanned++
+		stats.TuplesScanned += uint64(len(batch))
+		for _, t := range batch {
 			if !q.match(t) {
 				continue
 			}
 			stats.TuplesMatched++
 			if !fn(t) {
-				return stats, nil
+				return true
 			}
 		}
 	}
-	return stats, nil
 }
 
 // Select materializes the matching tuples in archive order.
@@ -229,14 +281,20 @@ func (c CollectorSummary) MeanLatency() time.Duration {
 }
 
 // Summarize aggregates matching tuples per collector, in ECID order.
+// Summaries accumulate in a flat slice — the map holds only indexes
+// into it, so aggregation costs one allocation per distinct collector,
+// not one per collector plus map-bucket churn.
 func (r *Reader) Summarize(q Query) ([]CollectorSummary, ScanStats, error) {
-	by := make(map[uint32]*CollectorSummary)
+	var out []CollectorSummary
+	by := make(map[uint32]int)
 	stats, err := r.Scan(q, func(t collect.TraceTuple) bool {
-		c, ok := by[t.ECID]
+		i, ok := by[t.ECID]
 		if !ok {
-			c = &CollectorSummary{ECID: t.ECID, FirstStart: math.MaxInt64}
-			by[t.ECID] = c
+			i = len(out)
+			out = append(out, CollectorSummary{ECID: t.ECID, FirstStart: math.MaxInt64})
+			by[t.ECID] = i
 		}
+		c := &out[i]
 		c.Tuples++
 		if t.Ret < 0 {
 			c.Errors++
@@ -252,10 +310,6 @@ func (r *Reader) Summarize(q Query) ([]CollectorSummary, ScanStats, error) {
 	})
 	if err != nil {
 		return nil, stats, err
-	}
-	out := make([]CollectorSummary, 0, len(by))
-	for _, c := range by {
-		out = append(out, *c)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ECID < out[j].ECID })
 	return out, stats, nil
@@ -284,34 +338,39 @@ func (r *Reader) TimeSeries(q Query, bucket time.Duration) (map[uint32][]SeriesP
 	if bucket <= 0 {
 		return nil, ScanStats{}, fmt.Errorf("archive: time series bucket %v", bucket)
 	}
-	acc := make(map[uint32]map[hrtime.Stamp]*SeriesPoint)
+	// Points accumulate in per-collector slices; the bucket maps hold
+	// indexes into them rather than per-bucket heap objects. Tuples
+	// arrive in rough time order, so the common case is appending to or
+	// revisiting the newest bucket.
+	type series struct {
+		pts []SeriesPoint
+		by  map[hrtime.Stamp]int
+	}
+	acc := make(map[uint32]*series)
 	stats, err := r.Scan(q, func(t collect.TraceTuple) bool {
 		b := t.Start - t.Start%int64(bucket)
-		m, ok := acc[t.ECID]
+		s, ok := acc[t.ECID]
 		if !ok {
-			m = make(map[hrtime.Stamp]*SeriesPoint)
-			acc[t.ECID] = m
+			s = &series{by: make(map[hrtime.Stamp]int)}
+			acc[t.ECID] = s
 		}
-		p, ok := m[b]
+		i, ok := s.by[b]
 		if !ok {
-			p = &SeriesPoint{Bucket: b}
-			m[b] = p
+			i = len(s.pts)
+			s.pts = append(s.pts, SeriesPoint{Bucket: b})
+			s.by[b] = i
 		}
-		p.Tuples++
-		p.TotalLatNS += t.End - t.Start
+		s.pts[i].Tuples++
+		s.pts[i].TotalLatNS += t.End - t.Start
 		return true
 	})
 	if err != nil {
 		return nil, stats, err
 	}
 	out := make(map[uint32][]SeriesPoint, len(acc))
-	for id, m := range acc {
-		pts := make([]SeriesPoint, 0, len(m))
-		for _, p := range m {
-			pts = append(pts, *p)
-		}
-		sort.Slice(pts, func(i, j int) bool { return pts[i].Bucket < pts[j].Bucket })
-		out[id] = pts
+	for id, s := range acc {
+		sort.Slice(s.pts, func(i, j int) bool { return s.pts[i].Bucket < s.pts[j].Bucket })
+		out[id] = s.pts
 	}
 	return out, stats, nil
 }

@@ -62,15 +62,19 @@ type WriterStats struct {
 // order. A Writer is the sink end of the archive: wire it to a puller
 // with escope.ArchiveSink, or call Append from a monitor tap.
 type Writer struct {
-	opts Options
+	opts    Options
+	version uint16 // block codec for segments this writer creates
 
 	mu       sync.Mutex
 	f        *os.File
 	active   writerSegment
 	index    SegmentIndex
 	pending  []collect.TraceTuple
-	sealed   []writerSegment // older segments, oldest first
-	total    int64           // bytes on disk across sealed + active
+	enc      columnarEncoder       // reused columnar block scratch
+	rowBuf   []byte                // reused row block scratch
+	rawBatch []collect.TraceTuple  // reused AppendRaw decode batch
+	sealed   []writerSegment       // older segments, oldest first
+	total    int64                 // bytes on disk across sealed + active
 	closed   bool
 	stats    WriterStats
 	writeErr error // first unrecoverable file-system error, sticky
@@ -92,7 +96,7 @@ func Create(opts Options) (*Writer, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("archive: %v", err)
 	}
-	w := &Writer{opts: opts}
+	w := &Writer{opts: opts, version: opts.format()}
 	if reg := opts.Metrics; reg != nil {
 		label := filepath.Base(opts.Dir)
 		w.opWrite = reg.Op(metrics.KindArchive, "archive("+label+")")
@@ -175,7 +179,7 @@ func (w *Writer) reopen() error {
 			w.cTrunc.Inc()
 			fallthrough
 		default:
-			if !res.Header.Sealed {
+			if !res.Header.Sealed && res.Header.Version == w.version {
 				// Continue appending where the previous run stopped.
 				f, err := os.OpenFile(last.path, os.O_RDWR, 0o644)
 				if err != nil {
@@ -195,6 +199,28 @@ func (w *Writer) reopen() error {
 				w.stats.TotalBytes = w.total
 				return nil
 			}
+			if !res.Header.Sealed {
+				// The previous run wrote this segment in another block
+				// format. Blocks within a segment must share one codec,
+				// so seal it with its recovered index and start a fresh
+				// segment in the writer's own format.
+				hdr := encodeHeader(segmentHeader{
+					ID: res.Header.ID, Version: res.Header.Version,
+					Sealed: true, Index: res.Index,
+				})
+				f, err := os.OpenFile(last.path, os.O_RDWR, 0o644)
+				if err != nil {
+					return fmt.Errorf("archive: %v", err)
+				}
+				if _, err := f.WriteAt(hdr, 0); err != nil {
+					f.Close()
+					return fmt.Errorf("archive: %v", err)
+				}
+				if err := f.Close(); err != nil {
+					return fmt.Errorf("archive: %v", err)
+				}
+				w.stats.TuplesRecovered = res.Index.Tuples
+			}
 		}
 	}
 	w.sealed = segs
@@ -209,7 +235,7 @@ func (w *Writer) newSegment(id uint32) error {
 	if err != nil {
 		return fmt.Errorf("archive: %v", err)
 	}
-	hdr := encodeHeader(segmentHeader{ID: id})
+	hdr := encodeHeader(segmentHeader{ID: id, Version: w.version})
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
 		return fmt.Errorf("archive: %v", err)
@@ -239,6 +265,11 @@ func (w *Writer) Append(tuples []collect.TraceTuple) error {
 	if w.writeErr != nil {
 		return w.writeErr
 	}
+	return w.appendLocked(tuples)
+}
+
+// appendLocked buffers tuples and flushes whole blocks.
+func (w *Writer) appendLocked(tuples []collect.TraceTuple) error {
 	w.pending = append(w.pending, tuples...)
 	bt := w.opts.blockTuples()
 	for len(w.pending) >= bt {
@@ -250,13 +281,27 @@ func (w *Writer) Append(tuples []collect.TraceTuple) error {
 }
 
 // AppendRaw decodes a concatenation of encoded tuples (an event-scope
-// pull reply) and appends them. A trailing partial tuple is reported
-// via collect's offset-carrying error after the whole tuples before it
-// were appended.
+// pull reply) and appends them. The decode batch is reused across
+// calls, so steady-state archiving of gather replies does not allocate
+// per payload. A trailing partial tuple is reported via collect's
+// offset-carrying error after the whole tuples before it were appended.
 func (w *Writer) AppendRaw(data []byte) error {
-	tuples, err := collect.DecodeAll(data)
-	if aerr := w.Append(tuples); aerr != nil {
-		return aerr
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("archive: writer closed")
+	}
+	if w.writeErr != nil {
+		return w.writeErr
+	}
+	tuples, err := collect.DecodeAppend(w.rawBatch[:0], data)
+	if tuples != nil {
+		w.rawBatch = tuples[:0]
+	}
+	if len(tuples) > 0 {
+		if aerr := w.appendLocked(tuples); aerr != nil {
+			return aerr
+		}
 	}
 	return err
 }
@@ -271,7 +316,15 @@ func (w *Writer) flushLocked(n int) error {
 		return nil
 	}
 	batch := w.pending[:n]
-	buf := encodeBlock(batch)
+	// Both codecs encode into writer-owned scratch reused across
+	// blocks: the steady-state flush path allocates nothing.
+	var buf []byte
+	if w.version == segmentVersionCol {
+		buf = w.enc.encodeBlock(batch)
+	} else {
+		buf = encodeRowBlockInto(w.rowBuf[:0], batch)
+		w.rowBuf = buf
+	}
 	start := hrtime.Now()
 	_, err := w.f.Write(buf)
 	w.opWrite.Record(hrtime.Since(start), len(buf), err)
@@ -297,7 +350,7 @@ func (w *Writer) flushLocked(n int) error {
 
 // sealLocked finalizes the active segment's header in place.
 func (w *Writer) sealLocked() error {
-	hdr := encodeHeader(segmentHeader{ID: w.active.id, Sealed: true, Index: w.index})
+	hdr := encodeHeader(segmentHeader{ID: w.active.id, Version: w.version, Sealed: true, Index: w.index})
 	if _, err := w.f.WriteAt(hdr, 0); err != nil {
 		w.writeErr = fmt.Errorf("archive: sealing segment %d: %v", w.active.id, err)
 		return w.writeErr

@@ -285,6 +285,70 @@ func TestRegistryRejectsNilNextAndDupBuffer(t *testing.T) {
 	}
 }
 
+// TestCollectorWritePathZeroAlloc is the allocation regression gate for
+// the recording hot path (ISSUE 7): an enabled collector's Op — encode,
+// buffer write, ring overwrite — must not allocate, with or without the
+// self-metrics site attached. The CI bench gate checks the same property
+// through -benchmem; this test makes plain `go test` fail on a
+// regression too.
+func TestCollectorWritePathZeroAlloc(t *testing.T) {
+	n := vnet.NewNetwork(vnet.FastEthernet, vnet.DefaultCostModel())
+	h, _ := n.AddStandaloneHost("bench", 2)
+	reg := NewRegistry()
+	inner := paths.NewFunc("inner", h, func(ctx *paths.Ctx, req paths.Request) (paths.Reply, error) {
+		return paths.Reply{}, nil
+	})
+	// A small buffer forces ring overwrites inside the measured loop, so
+	// the steady overwrite path is covered, not just the filling phase.
+	ec, err := reg.New("ec", h, Meta{}, inner, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &paths.Ctx{Thread: "bench"}
+	req := paths.Request{Kind: paths.OpWrite, Value: 1}
+	if avg := testing.AllocsPerRun(1000, func() {
+		if _, err := ec.Op(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("collector write path allocates %.2f allocs/op, want 0", avg)
+	}
+	reg.UseMetrics(metrics.New())
+	if avg := testing.AllocsPerRun(1000, func() {
+		if _, err := ec.Op(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("collector write path with metrics allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+func TestDecodeAppendReusesCapacity(t *testing.T) {
+	a := TraceTuple{ECID: 1, Seq: 0, Start: 10, End: 20}
+	b := TraceTuple{ECID: 2, Seq: 1, Start: 30, End: 40}
+	buf := append(a.Encode(), b.Encode()...)
+	batch, err := DecodeAppend(nil, buf)
+	if err != nil || len(batch) != 2 || batch[0] != a || batch[1] != b {
+		t.Fatalf("DecodeAppend = %+v, %v", batch, err)
+	}
+	// Reusing the batch must not allocate once capacity has grown.
+	if avg := testing.AllocsPerRun(100, func() {
+		var err error
+		batch, err = DecodeAppend(batch[:0], buf)
+		if err != nil || len(batch) != 2 {
+			t.Fatalf("DecodeAppend reuse = %+v, %v", batch, err)
+		}
+	}); avg != 0 {
+		t.Fatalf("DecodeAppend with warm batch allocates %.2f allocs/op", avg)
+	}
+	// A partial tail still appends the whole prefix.
+	batch, err = DecodeAppend(batch[:0], buf[:TupleSize+5])
+	var pe *PartialTupleError
+	if !errors.As(err, &pe) || len(batch) != 1 || batch[0] != a {
+		t.Fatalf("partial DecodeAppend = %+v, %v", batch, err)
+	}
+}
+
 // BenchmarkEventCollectorWrite measures the real cost an event collector
 // adds to a PastSet operation — the paper's 1.1 µs figure (section 6.1).
 func BenchmarkEventCollectorWrite(b *testing.B) {

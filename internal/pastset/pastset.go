@@ -34,12 +34,25 @@ var (
 	ErrExists = errors.New("pastset: element already exists")
 	// ErrNotFound is returned when looking up an unknown element.
 	ErrNotFound = errors.New("pastset: element not found")
+	// ErrNotFixed is returned by fixed-record operations on an element
+	// that was not created with a fixed record size.
+	ErrNotFixed = errors.New("pastset: element has no fixed record size")
+	// ErrRecordSize is returned when a payload's size does not match a
+	// fixed element's record size.
+	ErrRecordSize = errors.New("pastset: record size mismatch")
 )
 
 // Tuple is the unit of storage: an opaque payload stamped with the
-// element-assigned sequence number. Payload bytes are owned by the element
-// after Write and by the reader after a read; neither side may mutate them
-// afterwards.
+// element-assigned sequence number.
+//
+// Ownership of the payload bytes depends on how the element was created.
+// For variable elements (NewElement), payload bytes are owned by the
+// element after Write and by the reader after a read; neither side may
+// mutate them afterwards. For fixed-record elements (NewElementFixed),
+// writes copy into an element-owned arena and reads copy back out into
+// cursor-owned storage: a returned payload is valid only until the next
+// read through the same cursor, and writers may freely reuse their input
+// buffer — the zero-allocation contract of the collector write path.
 type Tuple struct {
 	Seq  uint64
 	Data []byte
@@ -56,12 +69,14 @@ type Stats struct {
 // Element is a named bounded tuple buffer. The zero value is not usable;
 // create elements with NewElement or Registry.Create.
 type Element struct {
-	name string
-	cap  int
+	name    string
+	cap     int
+	recSize int // fixed record size; 0 for variable elements
 
 	mu     sync.Mutex
 	cond   *vclock.Cond
 	ring   []Tuple
+	arena  []byte // slot storage for fixed elements (cap * recSize bytes)
 	first  uint64 // sequence number of the oldest retained tuple
 	next   uint64 // sequence number the next write will receive
 	lost   uint64 // tuples discarded by the overwrite policy
@@ -77,6 +92,32 @@ func NewElement(name string, capacity int) (*Element, error) {
 	e.cond = vclock.NewCond(&e.mu)
 	return e, nil
 }
+
+// NewElementFixed creates a bounded element whose records all have the
+// same size. Fixed elements store payloads in one preallocated arena:
+// WriteCopy copies the record in without retaining the caller's buffer,
+// and reads copy it back out, so the steady-state write path performs no
+// allocation at all (the trace-buffer hot path, DESIGN.md §12).
+func NewElementFixed(name string, capacity, recSize int) (*Element, error) {
+	if recSize < 1 {
+		return nil, fmt.Errorf("pastset: element %q: record size %d < 1", name, recSize)
+	}
+	e, err := NewElement(name, capacity)
+	if err != nil {
+		return nil, err
+	}
+	e.recSize = recSize
+	e.arena = make([]byte, capacity*recSize)
+	// Ring slots alias their arena slot permanently; writes refresh the
+	// bytes and the sequence number in place.
+	for i := range e.ring {
+		e.ring[i].Data = e.arena[i*recSize : (i+1)*recSize : (i+1)*recSize]
+	}
+	return e, nil
+}
+
+// RecordSize reports the element's fixed record size (0: variable).
+func (e *Element) RecordSize() int { return e.recSize }
 
 // MustNewElement is NewElement that panics on a bad capacity; for use in
 // topology construction where capacities are compile-time constants.
@@ -98,23 +139,64 @@ func (e *Element) Capacity() int { return e.cap }
 // element is at capacity, and returns the assigned sequence number.
 // This is the paper's blocking PastSet write: a mutex acquisition, a small
 // memory copy, and a wakeup of blocked readers.
+//
+// Variable elements retain data itself; fixed elements copy it into the
+// arena (the caller keeps ownership). Hot paths writing to fixed elements
+// should prefer WriteCopy, whose argument provably does not escape, so a
+// stack-allocated scratch buffer stays on the stack.
 func (e *Element) Write(data []byte) (uint64, error) {
+	if e.recSize != 0 {
+		return e.WriteCopy(data)
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return 0, ErrClosed
 	}
+	seq := e.advanceLocked()
+	e.ring[seq%uint64(e.cap)] = Tuple{Seq: seq, Data: data}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	return seq, nil
+}
+
+// WriteCopy appends one fixed-size record by copying it into the
+// element's arena. It never retains data — callers may reuse the buffer
+// immediately — and performs no allocation; together with a stack scratch
+// buffer on the caller's side this makes the whole tuple write
+// allocation-free. len(data) must equal the element's record size.
+func (e *Element) WriteCopy(data []byte) (uint64, error) {
+	if e.recSize == 0 {
+		return 0, fmt.Errorf("%w: %q", ErrNotFixed, e.name)
+	}
+	if len(data) != e.recSize {
+		return 0, fmt.Errorf("%w: %q: %d bytes, want %d", ErrRecordSize, e.name, len(data), e.recSize)
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return 0, ErrClosed
+	}
+	seq := e.advanceLocked()
+	slot := &e.ring[seq%uint64(e.cap)]
+	slot.Seq = seq
+	copy(slot.Data, data)
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	return seq, nil
+}
+
+// advanceLocked claims the next sequence number, applying the overwrite
+// policy; caller holds mu.
+func (e *Element) advanceLocked() uint64 {
 	seq := e.next
 	if int(e.next-e.first) == e.cap {
 		// Overwrite the oldest tuple.
 		e.first++
 		e.lost++
 	}
-	e.ring[seq%uint64(e.cap)] = Tuple{Seq: seq, Data: data}
 	e.next++
-	e.cond.Broadcast()
-	e.mu.Unlock()
-	return seq, nil
+	return seq
 }
 
 // Len reports the number of retained tuples.
@@ -137,6 +219,8 @@ func (e *Element) Stats() Stats {
 }
 
 // Latest returns the newest retained tuple without consuming anything.
+// For fixed elements the payload is a fresh copy (Latest is a cold path;
+// the cursors are the ones that recycle read buffers).
 func (e *Element) Latest() (Tuple, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -146,7 +230,11 @@ func (e *Element) Latest() (Tuple, error) {
 		}
 		return Tuple{}, ErrEmpty
 	}
-	return e.ring[(e.next-1)%uint64(e.cap)], nil
+	t := e.ring[(e.next-1)%uint64(e.cap)]
+	if e.recSize != 0 {
+		t.Data = append([]byte(nil), t.Data...)
+	}
+	return t, nil
 }
 
 // Close marks the element closed and wakes all blocked readers. Subsequent
@@ -179,9 +267,18 @@ func (e *Element) at(seq uint64) Tuple {
 // A Cursor must not be used for reading from multiple goroutines, but the
 // Read/Skipped/Rate counters may be sampled concurrently (monitors poll
 // gather rates while the reader thread runs).
+//
+// Reads from a fixed-record element copy payloads out of the element's
+// arena into cursor-owned storage: the returned Tuple.Data slices are
+// valid until the next read through the same cursor. Readers that batch
+// (DrainInto, DrainBytesInto) and finish with a batch before draining
+// again — the monitor and gather loops' shape — therefore run
+// allocation-free once the cursor's buffer has grown to the working-set
+// size.
 type Cursor struct {
 	e       *Element
 	pos     uint64        // next sequence number to deliver
+	buf     []byte        // copy-out storage for fixed elements, reused per read
 	read    atomic.Uint64 // tuples delivered through this cursor
 	skipped atomic.Uint64 // tuples this cursor missed due to overwrite
 }
@@ -212,6 +309,23 @@ func (c *Cursor) advance() {
 	}
 }
 
+// takeOne delivers the tuple at c.pos, copying fixed-element payloads
+// into the cursor's buffer; caller holds mu and has checked pos < next.
+func (c *Cursor) takeOne() Tuple {
+	t := c.e.at(c.pos)
+	if rs := c.e.recSize; rs != 0 {
+		if cap(c.buf) < rs {
+			c.buf = make([]byte, rs)
+		}
+		out := c.buf[:rs:rs]
+		copy(out, t.Data)
+		t.Data = out
+	}
+	c.pos++
+	c.read.Add(1)
+	return t
+}
+
 // TryNext returns the next tuple without blocking. It returns ErrEmpty when
 // the reader has consumed everything currently retained, and ErrClosed when
 // the element is closed and drained.
@@ -225,10 +339,7 @@ func (c *Cursor) TryNext() (Tuple, error) {
 		}
 		return Tuple{}, ErrEmpty
 	}
-	t := c.e.at(c.pos)
-	c.pos++
-	c.read.Add(1)
-	return t, nil
+	return c.takeOne(), nil
 }
 
 // Next returns the next tuple, blocking until one is available or the
@@ -239,10 +350,7 @@ func (c *Cursor) Next() (Tuple, error) {
 	for {
 		c.advance()
 		if c.pos < c.e.next {
-			t := c.e.at(c.pos)
-			c.pos++
-			c.read.Add(1)
-			return t, nil
+			return c.takeOne(), nil
 		}
 		if c.e.closed {
 			return Tuple{}, ErrClosed
@@ -252,17 +360,84 @@ func (c *Cursor) Next() (Tuple, error) {
 }
 
 // DrainInto appends all currently retained unread tuples to dst and returns
-// the extended slice. It never blocks.
+// the extended slice. It never blocks. Fixed-element payloads are copied
+// into the cursor's buffer, which the whole batch shares: the appended
+// tuples are valid until the next read through this cursor.
 func (c *Cursor) DrainInto(dst []Tuple) []Tuple {
 	c.e.mu.Lock()
 	defer c.e.mu.Unlock()
 	c.advance()
+	n := int(c.e.next - c.pos)
+	if n == 0 {
+		return dst
+	}
+	if rs := c.e.recSize; rs != 0 {
+		if cap(c.buf) < n*rs {
+			c.buf = make([]byte, n*rs)
+		}
+		buf := c.buf[:n*rs]
+		for i := 0; i < n; i++ {
+			t := c.e.at(c.pos)
+			out := buf[i*rs : (i+1)*rs : (i+1)*rs]
+			copy(out, t.Data)
+			t.Data = out
+			dst = append(dst, t)
+			c.pos++
+		}
+		c.read.Add(uint64(n))
+		return dst
+	}
 	for c.pos < c.e.next {
 		dst = append(dst, c.e.at(c.pos))
 		c.pos++
 		c.read.Add(1)
 	}
 	return dst
+}
+
+// DrainBytesInto appends the raw payload bytes of up to max unread
+// records (max <= 0: all) to dst under a single lock acquisition and
+// returns the extended slice plus the record count. Every drained record
+// must be recSize bytes; a mismatch stops the drain at the offending
+// record (which stays unconsumed) and reports it. It never blocks — an
+// empty drain is a valid result. This is the batch-reader fast path: one
+// lock, one bounds-checked copy per record, no Tuple structs, and the
+// destination is caller-owned so a pull loop can recycle it.
+func (c *Cursor) DrainBytesInto(dst []byte, max, recSize int) ([]byte, int, error) {
+	c.e.mu.Lock()
+	defer c.e.mu.Unlock()
+	c.advance()
+	n := int(c.e.next - c.pos)
+	if max > 0 && n > max {
+		n = max
+	}
+	if n == 0 {
+		return dst, 0, nil
+	}
+	if c.e.recSize != 0 && c.e.recSize != recSize {
+		return dst, 0, fmt.Errorf("%w: %q: element records %d bytes, reader wants %d",
+			ErrRecordSize, c.e.name, c.e.recSize, recSize)
+	}
+	// One grow up front: after the first few drains the destination has
+	// reached the pull batch's working-set size and stops allocating.
+	need := len(dst) + n*recSize
+	if cap(dst) < need {
+		grown := make([]byte, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	for i := 0; i < n; i++ {
+		t := c.e.at(c.pos)
+		if len(t.Data) != recSize {
+			c.read.Add(uint64(i))
+			return dst, i, fmt.Errorf("%w: %q: record %d is %d bytes, want %d",
+				ErrRecordSize, c.e.name, t.Seq, len(t.Data), recSize)
+		}
+		dst = append(dst, t.Data...)
+		c.pos++
+	}
+	c.read.Add(uint64(n))
+	return dst, n, nil
 }
 
 // Read reports the number of tuples delivered through this cursor.
@@ -312,6 +487,20 @@ func (r *Registry) Create(name string, capacity int) (*Element, error) {
 	if err != nil {
 		return nil, err
 	}
+	return r.register(name, e)
+}
+
+// CreateFixed creates and registers a fixed-record element (see
+// NewElementFixed).
+func (r *Registry) CreateFixed(name string, capacity, recSize int) (*Element, error) {
+	e, err := NewElementFixed(name, capacity, recSize)
+	if err != nil {
+		return nil, err
+	}
+	return r.register(name, e)
+}
+
+func (r *Registry) register(name string, e *Element) (*Element, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.elems[name]; ok {

@@ -477,6 +477,161 @@ func TestRegistryCreateBadCapacity(t *testing.T) {
 	}
 }
 
+// TestFixedElementCopySemantics pins the fixed-record ownership rules:
+// writes copy in (the caller's buffer is reusable immediately) and reads
+// copy out (an overwrite of the arena slot never mutates a delivered
+// payload).
+func TestFixedElementCopySemantics(t *testing.T) {
+	e, err := NewElementFixed("fixed", 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.RecordSize() != 4 {
+		t.Fatalf("RecordSize = %d", e.RecordSize())
+	}
+	scratch := []byte{1, 1, 1, 1}
+	if _, err := e.WriteCopy(scratch); err != nil {
+		t.Fatal(err)
+	}
+	// Reusing the caller buffer must not affect the stored record.
+	copy(scratch, []byte{9, 9, 9, 9})
+	if _, err := e.WriteCopy(scratch); err != nil {
+		t.Fatal(err)
+	}
+	c := e.NewCursor()
+	first, err := c.TryNext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first.Data) != string([]byte{1, 1, 1, 1}) {
+		t.Fatalf("first record = %v", first.Data)
+	}
+	// Overwrite the first record's arena slot (capacity 2: two more
+	// writes lap it); a batch drained earlier must not change.
+	got := append([]byte(nil), first.Data...)
+	e.WriteCopy([]byte{7, 7, 7, 7})
+	e.WriteCopy([]byte{8, 8, 8, 8})
+	if string(first.Data) != string(got) {
+		// first.Data is cursor-owned; the arena overwrite above must
+		// not reach it.
+		t.Fatalf("delivered payload mutated by overwrite: %v", first.Data)
+	}
+	// Size and mode guards.
+	if _, err := e.WriteCopy([]byte{1, 2}); err == nil {
+		t.Fatal("short record accepted")
+	}
+	if _, err := e.Write([]byte{1, 2, 3}); err == nil {
+		t.Fatal("Write with wrong size accepted on fixed element")
+	}
+	v := MustNewElement("var", 2)
+	if _, err := v.WriteCopy([]byte{1}); err == nil {
+		t.Fatal("WriteCopy on variable element accepted")
+	}
+}
+
+// TestFixedElementDrainInto checks that a drained batch shares one
+// cursor-owned buffer and stays intact until the next read.
+func TestFixedElementDrainInto(t *testing.T) {
+	e, err := NewElementFixed("fixed", 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := byte(0); i < 5; i++ {
+		e.Write([]byte{i, i})
+	}
+	c := e.NewCursor()
+	batch := c.DrainInto(nil)
+	if len(batch) != 5 {
+		t.Fatalf("drained %d", len(batch))
+	}
+	for i, tu := range batch {
+		if tu.Seq != uint64(i) || tu.Data[0] != byte(i) || tu.Data[1] != byte(i) {
+			t.Fatalf("tuple %d = %+v", i, tu)
+		}
+	}
+	// Steady state: the write-then-drain cycle does not allocate once
+	// the cursor's copy-out buffer is warm.
+	rec := []byte{0, 0}
+	if avg := testing.AllocsPerRun(50, func() {
+		for i := byte(0); i < 5; i++ {
+			rec[0], rec[1] = i, i
+			if _, err := e.WriteCopy(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		batch = c.DrainInto(batch[:0])
+		if len(batch) != 5 {
+			t.Fatalf("drained %d", len(batch))
+		}
+	}); avg != 0 {
+		t.Fatalf("warm write+DrainInto cycle allocates %.2f allocs/op", avg)
+	}
+}
+
+// TestDrainBytesInto covers the raw batch drain both element modes use.
+func TestDrainBytesInto(t *testing.T) {
+	for _, fixed := range []bool{true, false} {
+		var e *Element
+		if fixed {
+			e, _ = NewElementFixed("f", 16, 2)
+		} else {
+			e = MustNewElement("v", 16)
+		}
+		for i := byte(0); i < 6; i++ {
+			e.Write([]byte{i, i})
+		}
+		c := e.NewCursor()
+		buf, n, err := c.DrainBytesInto(nil, 4, 2)
+		if err != nil || n != 4 || len(buf) != 8 {
+			t.Fatalf("fixed=%v: drain = %d records %d bytes, %v", fixed, n, len(buf), err)
+		}
+		for i := byte(0); i < 4; i++ {
+			if buf[2*i] != i || buf[2*i+1] != i {
+				t.Fatalf("fixed=%v: bytes %v", fixed, buf)
+			}
+		}
+		buf, n, err = c.DrainBytesInto(buf[:0], 0, 2)
+		if err != nil || n != 2 || len(buf) != 4 {
+			t.Fatalf("fixed=%v: second drain = %d records, %v", fixed, n, err)
+		}
+		if c.Read() != 6 {
+			t.Fatalf("fixed=%v: cursor read %d", fixed, c.Read())
+		}
+	}
+	// Record-size mismatch: the fixed element rejects the whole drain,
+	// the variable element stops at the offending record.
+	f, _ := NewElementFixed("f2", 4, 2)
+	f.Write([]byte{1, 1})
+	if _, n, err := f.NewCursor().DrainBytesInto(nil, 0, 3); err == nil || n != 0 {
+		t.Fatal("record-size mismatch accepted on fixed element")
+	}
+	v := MustNewElement("v2", 4)
+	v.Write([]byte{1, 1})
+	v.Write([]byte{2, 2, 2})
+	cur := v.NewCursor()
+	buf, n, err := cur.DrainBytesInto(nil, 0, 2)
+	if err == nil || n != 1 || len(buf) != 2 {
+		t.Fatalf("ragged variable drain = %d records %v bytes, %v", n, buf, err)
+	}
+}
+
+// TestFixedWriteCopyZeroAlloc pins the arena write path at zero
+// allocations, overwrites included.
+func TestFixedWriteCopyZeroAlloc(t *testing.T) {
+	e, err := NewElementFixed("fixed", 32, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, 28)
+	if avg := testing.AllocsPerRun(1000, func() {
+		if _, err := e.WriteCopy(rec); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("WriteCopy allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
 func BenchmarkElementWrite(b *testing.B) {
 	e := MustNewElement("b", 4096)
 	data := make([]byte, 28)

@@ -240,18 +240,12 @@ func (r *BatchReader) drain(ctx *Ctx, req Request) (Reply, error) {
 	if req.Kind != OpRead {
 		return Reply{}, fmt.Errorf("paths: %s: unsupported op %v", r.name, req.Kind)
 	}
-	var out []byte
-	n := 0
-	for r.max == 0 || n < r.max {
-		t, err := r.cursor.TryNext()
-		if err != nil {
-			break // empty or closed: return what we have
-		}
-		if len(t.Data) != r.recSize {
-			return Reply{}, fmt.Errorf("paths: %s: record size %d, want %d", r.name, len(t.Data), r.recSize)
-		}
-		out = append(out, t.Data...)
-		n++
+	// One lock acquisition and one bounds-checked copy per record; the
+	// reply buffer is freshly sized because it is handed up the gather
+	// tree and retained beyond this call.
+	out, n, err := r.cursor.DrainBytesInto(nil, r.max, r.recSize)
+	if err != nil {
+		return Reply{}, fmt.Errorf("paths: %s: %v", r.name, err)
 	}
 	return Reply{Data: out, Ret: int16(min(n, 1<<15-1))}, nil
 }
