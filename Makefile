@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-archive bench-staleness lint vet eslint ci
+.PHONY: build test test-short bench bench-archive bench-staleness lint vet eslint lint-fix-check ci
 
 build:
 	$(GO) build ./...
@@ -38,11 +38,17 @@ bench-staleness:
 vet:
 	$(GO) vet ./...
 
-# eslint is the project-specific invariant suite (DESIGN.md §8).
+# eslint is the project-specific invariant suite (DESIGN.md §8, §13).
 eslint:
 	$(GO) run ./cmd/eslint ./...
 
-lint: vet eslint
+# lint-fix-check audits the suppression annotations themselves: every
+# //lint:allow must carry a reason and name a real analyzer. Parse-only,
+# so it is fast enough for a pre-commit hook.
+lint-fix-check:
+	$(GO) run ./cmd/eslint -check-annotations
+
+lint: vet eslint lint-fix-check
 
 # ci mirrors the GitHub Actions job, minus the tool installs.
 ci: build lint test-short

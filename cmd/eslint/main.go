@@ -6,17 +6,25 @@
 //
 //	go run ./cmd/eslint ./...        # whole module (the usual form)
 //	go run ./cmd/eslint -list        # describe the analyzers
-//	go run ./cmd/eslint -run wallclock,closeonce ./...
+//	go run ./cmd/eslint -run wallclock,goroleak ./...
+//	go run ./cmd/eslint -json ./...  # machine-readable findings
+//	go run ./cmd/eslint -check-annotations   # audit //lint:allow only
+//
+// Packages are analyzed in parallel (one worker per CPU by default;
+// -workers overrides) with deterministic output order, and the summary
+// line reports wall time so CI logs track the suite's cost.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"eventspace/internal/lint"
 )
@@ -25,11 +33,24 @@ func main() {
 	os.Exit(run())
 }
 
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func run() int {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	workers := flag.Int("workers", 0, "packages analyzed in parallel (0 = one per CPU)")
+	annotations := flag.Bool("check-annotations", false,
+		"audit //lint:allow annotations only (reasons present, analyzer names known); skips analysis")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: eslint [-list] [-run names] [./...]\n")
+		fmt.Fprintf(os.Stderr, "usage: eslint [-list] [-run names] [-json] [-workers n] [-check-annotations] [./...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -77,6 +98,23 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "eslint:", err)
 		return 2
 	}
+
+	start := time.Now()
+
+	if *annotations {
+		diags, err := lint.AuditAnnotations(root, lint.Suite())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eslint:", err)
+			return 2
+		}
+		return report(diags, root, *asJSON, func(n int) string {
+			if n > 0 {
+				return fmt.Sprintf("eslint: %d malformed annotation(s) in %v", n, time.Since(start).Round(time.Millisecond))
+			}
+			return fmt.Sprintf("eslint: annotations clean in %v", time.Since(start).Round(time.Millisecond))
+		})
+	}
+
 	loader, err := lint.NewLoader(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eslint:", err)
@@ -87,27 +125,55 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "eslint:", err)
 		return 2
 	}
+	perPkg, err := lint.RunPackages(pkgs, analyzers, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eslint:", err)
+		return 2
+	}
+	var diags []lint.Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
+	}
+	return report(diags, root, *asJSON, func(n int) string {
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if n > 0 {
+			return fmt.Sprintf("eslint: %d finding(s) across %d package(s) in %v", n, len(pkgs), elapsed)
+		}
+		return fmt.Sprintf("eslint: clean — %d package(s), %d analyzer(s) in %v", len(pkgs), len(analyzers), elapsed)
+	})
+}
 
-	findings := 0
-	for _, pkg := range pkgs {
-		diags, err := lint.RunPackage(pkg, analyzers)
-		if err != nil {
+// report prints the findings (plain or JSON, paths relative to root)
+// plus a summary line on stderr, and returns the exit status.
+func report(diags []lint.Diagnostic, root string, asJSON bool, summary func(n int) string) int {
+	rel := func(name string) string {
+		if r, err := filepath.Rel(root, name); err == nil {
+			return r
+		}
+		return name
+	}
+	if asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File: rel(d.Pos.Filename), Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, "eslint:", err)
 			return 2
 		}
+	} else {
 		for _, d := range diags {
-			findings++
-			pos := d.Pos
-			if rel, err := filepath.Rel(root, pos.Filename); err == nil {
-				pos.Filename = rel
-			}
-			fmt.Printf("%s:%d:%d: %s (%s)\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+			fmt.Printf("%s:%d:%d: %s (%s)\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "eslint: %d finding(s) across %d package(s)\n", findings, len(pkgs))
+	fmt.Fprintln(os.Stderr, summary(len(diags)))
+	if len(diags) > 0 {
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "eslint: clean — %d package(s), %d analyzer(s)\n", len(pkgs), len(analyzers))
 	return 0
 }

@@ -53,6 +53,8 @@ func (t TraceTuple) Encode() []byte {
 
 // EncodeTo packs the tuple into buf, which must be at least TupleSize
 // bytes.
+//
+//lint:hotpath per-operation encode; gated by BenchmarkOpOverhead's zero-alloc check
 func (t TraceTuple) EncodeTo(buf []byte) {
 	binary.LittleEndian.PutUint32(buf[0:4], t.ECID)
 	binary.LittleEndian.PutUint16(buf[4:6], uint16(t.Op))
@@ -216,6 +218,8 @@ func (e *EventCollector) SetMetrics(op *metrics.Op) { e.met.Store(op) }
 
 // Op timestamps the next wrapper's operation and records a trace tuple.
 // Failed operations record Ret = -1 before the error propagates.
+//
+//lint:hotpath the paper's "cost of monitoring" path: encode + buffer write, zero allocations
 func (e *EventCollector) Op(ctx *paths.Ctx, req paths.Request) (paths.Reply, error) {
 	if !e.enabled.Load() {
 		return e.next.Op(ctx, req)

@@ -5,9 +5,11 @@ import (
 	"time"
 
 	"eventspace/internal/analysis"
+	"eventspace/internal/archive"
 	"eventspace/internal/cluster"
 	"eventspace/internal/cosched"
 	"eventspace/internal/monitor"
+	"eventspace/internal/vclock"
 )
 
 func newSystem(t *testing.T, strategy cosched.Strategy) *System {
@@ -241,3 +243,47 @@ var errSentinel = errString("boom")
 type errString string
 
 func (e errString) Error() string { return string(e) }
+
+// TestArchiveStopDrainsRegistered locks in the PR-4 deadlock fix at
+// runtime (internal/lint's vcregister analyzer guards it statically):
+// ArchiveRecorder.Stop's final drain performs modelled network work, so
+// it must run as a registered model goroutine. Run unregistered, its
+// modelled sleeps would corrupt the clock's runnable count and Stop
+// would stall RunVirtual forever. The test drives a workload, stops the
+// recorder inside the virtual section, and requires every model
+// goroutine to unwind — then checks the drain actually archived.
+func TestArchiveStopDrainsRegistered(t *testing.T) {
+	dir := t.TempDir()
+	err := RunVirtual(func() error {
+		s := newSystem(t, cosched.None)
+		tree := instrumented(t, s, "T")
+		rec, err := s.AttachArchive(tree, time.Millisecond, archive.Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.RunWorkload(Workload{Trees: []*cluster.Tree{tree}, Iterations: 8}); err != nil {
+			t.Fatal(err)
+		}
+		rec.Stop()
+		if err := rec.Err(); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		if !vclock.Quiesce(5 * time.Second) {
+			_, running, live, timers := vclock.Stats()
+			t.Fatalf("model goroutines leaked past Stop+Close: running=%d live=%d timers=%d",
+				running, live, timers)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := archive.OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tuples() == 0 {
+		t.Fatal("final drain archived nothing")
+	}
+}

@@ -288,6 +288,8 @@ func (b *breaker) Op(ctx *paths.Ctx, req paths.Request) (paths.Reply, error) {
 // still running counts as another overrun and the round skips the child;
 // a completed call with data is delivered (stale); a completed empty or
 // failed call is discarded and the round proceeds normally.
+//
+//lint:hotpath tripped-breaker skip path; must not allocate while coasting on stale data
 func (b *breaker) consumePending(now hrtime.Stamp) (paths.Reply, bool) {
 	b.mu.Lock()
 	fl := b.pending
@@ -322,6 +324,8 @@ func (b *breaker) consumePending(now hrtime.Stamp) (paths.Reply, bool) {
 // admit decides whether this round's call reaches the child. Caller does
 // NOT hold b.mu. The skip path is allocation-free — it is the breaker
 // decision hot path.
+//
+//lint:hotpath breaker skip decision runs once per child per round
 func (b *breaker) admit(now hrtime.Stamp) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()

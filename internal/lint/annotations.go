@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// AuditAnnotations walks every .go file under root (testdata, hidden
+// and underscore directories skipped — fixtures carry deliberately
+// malformed annotations) and checks each //lint:allow and
+// //lint:file-allow against the suite: a reason is mandatory, and the
+// named analyzers must exist. It only parses — no type-checking — so
+// `make lint-fix-check` stays near-instant even though the analyzer
+// run itself costs a whole-module type-check.
+//
+// The reason-less case is also caught at analysis time (RunPackage
+// reports it under the pseudo-analyzer "lint"), but only for packages
+// where analyzers run; the audit covers every file and additionally
+// rejects annotations whose analyzer name a rename or a typo has
+// orphaned — those would otherwise suppress nothing, silently.
+func AuditAnnotations(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := map[string]bool{"lint": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var files []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") {
+			files = append(files, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+
+	fset := token.NewFileSet()
+	var diags []Diagnostic
+	for _, file := range files {
+		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(m[3]) == "" {
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  fmt.Sprintf("lint:%s %s needs a reason; a bare annotation suppresses nothing", m[1], m[2]),
+					})
+				}
+				for _, name := range strings.Split(m[2], ",") {
+					name = strings.TrimSpace(name)
+					if name != "" && !known[name] {
+						diags = append(diags, Diagnostic{
+							Pos:      pos,
+							Analyzer: "lint",
+							Message:  fmt.Sprintf("lint:%s names unknown analyzer %q; the annotation suppresses nothing", m[1], name),
+						})
+					}
+				}
+			}
+		}
+	}
+	return diags, nil
+}

@@ -1,0 +1,443 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies, using only the standard library. It is the dataflow
+// engine under internal/lint's analyzers: basic blocks with explicit
+// branch conditions, reachability queries, and branch-decider analysis
+// (which conditions decide whether a given block executes). A companion
+// def-use index (defuse.go) chains variable uses back to the
+// expressions assigned to them, so analyzers can see through
+//
+//	ok := paths.Retryable(err)
+//	if ok { ... }
+//
+// the same way they see a direct classifier call in the condition.
+//
+// The graph is deliberately conservative and syntactic: it models
+// if/for/range/switch/select/goto/labeled break and continue exactly,
+// treats multiway dispatch (switch cases, select comms, range
+// termination) as nondeterministic edges, routes return and panic to
+// the synthetic Exit block, and keeps defer and go statements as plain
+// nodes (they do not alter intraprocedural flow). It never evaluates
+// conditions, so every analyzer built on it over-approximates what can
+// run — the right direction for invariant checking.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one basic block: a maximal run of nodes with a single
+// entry, ended by at most one control transfer.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (Entry is 0).
+	Index int
+	// Nodes holds the block's statements and, for branch blocks, the
+	// condition expression, in source order.
+	Nodes []ast.Node
+	// Succs are the possible successors, in no particular order.
+	Succs []*Block
+
+	// Branch is the boolean condition the block ends with when it ends
+	// in a two-way test (if condition, for condition). TrueSucc and
+	// FalseSucc are then the outcome edges. Multiway transfers (switch,
+	// select, range) leave Branch nil and use Succs alone.
+	Branch    ast.Expr
+	TrueSucc  *Block
+	FalseSucc *Block
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks lists every block, Entry first. Exit is not in Blocks.
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the synthetic termination block: returns, panics, and
+	// falling off the end all lead here. It has no nodes or successors.
+	Exit *Block
+}
+
+// builder carries the construction state.
+type builder struct {
+	g   *Graph
+	cur *Block
+
+	// breakTargets/continueTargets map both the empty label (innermost)
+	// and explicit labels to their jump targets, stack-style.
+	breakTargets    []jumpTarget
+	continueTargets []jumpTarget
+
+	// labels maps a label name to the block its statement starts in,
+	// for goto. Forward gotos are resolved after the walk.
+	labels map[string]*Block
+	gotos  []pendingGoto
+
+	// pendingLabel is the label naming the next loop/switch/select
+	// statement (for labeled break/continue).
+	pendingLabel string
+}
+
+type jumpTarget struct {
+	label string
+	block *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// New builds the control-flow graph of a function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{Exit: &Block{Index: -1}}
+	b := &builder{g: g, labels: make(map[string]*Block)}
+	b.cur = b.newBlock()
+	g.Entry = b.cur
+	b.stmts(body.List)
+	// Falling off the end of the body returns.
+	b.link(b.cur, g.Exit)
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			b.link(pg.from, target)
+		}
+		// A goto to an unknown label is a type error upstream; dropping
+		// the edge keeps the graph well-formed.
+	}
+	return g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startBlock begins a fresh block and makes it current, linking from
+// the previous current block unless from is nil.
+func (b *builder) startBlock(from *Block) *Block {
+	blk := b.newBlock()
+	if from != nil {
+		b.link(from, blk)
+	}
+	b.cur = blk
+	return blk
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// terminate ends the current block with no fallthrough successor: the
+// following statements (if any) start a fresh, unreachable block.
+func (b *builder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.link(b.cur, b.g.Exit)
+		b.terminate()
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if isPanicCall(s.X) {
+			// panic terminates the function (recover is a dynamic
+			// property this graph does not model).
+			b.link(b.cur, b.g.Exit)
+			b.terminate()
+		}
+
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		cond := b.cur
+		cond.Nodes = append(cond.Nodes, s.Cond)
+		cond.Branch = s.Cond
+		then := b.startBlock(nil)
+		cond.TrueSucc = then
+		b.link(cond, then)
+		b.stmts(s.Body.List)
+		thenEnd := b.cur
+		var elseEnd *Block
+		if s.Else != nil {
+			elseBlk := b.startBlock(nil)
+			cond.FalseSucc = elseBlk
+			b.link(cond, elseBlk)
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		}
+		after := b.newBlock()
+		if s.Else == nil {
+			cond.FalseSucc = after
+			b.link(cond, after)
+		}
+		b.link(thenEnd, after)
+		b.link(elseEnd, after)
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		head := b.startBlock(b.cur)
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.link(post, head)
+		}
+		var bodyStart *Block
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			head.Branch = s.Cond
+			bodyStart = b.newBlock()
+			head.TrueSucc = bodyStart
+			head.FalseSucc = after
+			b.link(head, bodyStart)
+			b.link(head, after)
+		} else {
+			bodyStart = b.newBlock()
+			b.link(head, bodyStart)
+			// No condition: after is reachable only through break.
+		}
+		b.pushLoop(label, after, post)
+		b.cur = bodyStart
+		b.stmts(s.Body.List)
+		b.link(b.cur, post)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.cur.Nodes = append(b.cur.Nodes, s.X)
+		head := b.startBlock(b.cur)
+		// The range assignment happens at the head on each iteration.
+		// Only the iteration variables belong to the head — attaching
+		// the whole RangeStmt would duplicate the body's nodes here.
+		if s.Key != nil {
+			head.Nodes = append(head.Nodes, s.Key)
+		}
+		if s.Value != nil {
+			head.Nodes = append(head.Nodes, s.Value)
+		}
+		after := b.newBlock()
+		bodyStart := b.newBlock()
+		b.link(head, bodyStart)
+		b.link(head, after) // every range form can terminate
+		b.pushLoop(label, after, head)
+		b.cur = bodyStart
+		b.stmts(s.Body.List)
+		b.link(b.cur, head)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.multiway(s, s.Init, s.Tag, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.multiway(s, s.Init, nil, s.Body)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		after := b.newBlock()
+		b.breakTargets = append(b.breakTargets,
+			jumpTarget{"", after}, jumpTarget{label, after})
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			caseBlk := b.newBlock()
+			b.link(head, caseBlk)
+			if cc.Comm != nil {
+				caseBlk.Nodes = append(caseBlk.Nodes, cc.Comm)
+			}
+			b.cur = caseBlk
+			b.stmts(cc.Body)
+			b.link(b.cur, after)
+		}
+		b.breakTargets = b.breakTargets[:len(b.breakTargets)-2]
+		// A bare select{} has no cases: after stays unreachable, which
+		// is exactly the blocks-forever semantics.
+		b.cur = after
+
+	case *ast.BranchStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := findTarget(b.breakTargets, label); t != nil {
+				b.link(b.cur, t)
+			}
+			b.terminate()
+		case token.CONTINUE:
+			if t := findTarget(b.continueTargets, label); t != nil {
+				b.link(b.cur, t)
+			}
+			b.terminate()
+		case token.GOTO:
+			if target, ok := b.labels[label]; ok {
+				b.link(b.cur, target)
+			} else {
+				b.gotos = append(b.gotos, pendingGoto{b.cur, label})
+			}
+			b.terminate()
+		case token.FALLTHROUGH:
+			// Handled by multiway via fallthrough detection; as a plain
+			// statement it simply ends the block (the multiway builder
+			// adds the edge to the next case).
+		}
+
+	case *ast.LabeledStmt:
+		// The labeled statement starts a fresh block so goto (and
+		// labeled break/continue) have a target.
+		blk := b.startBlock(b.cur)
+		b.labels[s.Label.Name] = blk
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	default:
+		// Plain statements (assignments, declarations, defer, go,
+		// sends, inc/dec, empty): straight-line nodes.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// multiway builds switch and type-switch flow: the head fans out to
+// every case (and to after when there is no default); fallthrough links
+// one case body to the next.
+func (b *builder) multiway(stmt ast.Stmt, init ast.Stmt, tag ast.Expr, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, init)
+	}
+	if tag != nil {
+		b.cur.Nodes = append(b.cur.Nodes, tag)
+	}
+	if ts, ok := stmt.(*ast.TypeSwitchStmt); ok {
+		b.cur.Nodes = append(b.cur.Nodes, ts.Assign)
+	}
+	head := b.cur
+	after := b.newBlock()
+	b.breakTargets = append(b.breakTargets,
+		jumpTarget{"", after}, jumpTarget{label, after})
+	hasDefault := false
+	var caseBlocks []*Block
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		b.link(head, blk)
+		caseBlocks = append(caseBlocks, blk)
+		clauses = append(clauses, cc)
+	}
+	for i, cc := range clauses {
+		b.cur = caseBlocks[i]
+		b.stmts(cc.Body)
+		if endsInFallthrough(cc.Body) && i+1 < len(caseBlocks) {
+			b.link(b.cur, caseBlocks[i+1])
+			b.terminate()
+		} else {
+			b.link(b.cur, after)
+		}
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-2]
+	if !hasDefault {
+		b.link(head, after)
+	}
+	b.cur = after
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breakTargets = append(b.breakTargets, jumpTarget{"", brk})
+	b.continueTargets = append(b.continueTargets, jumpTarget{"", cont})
+	if label != "" {
+		b.breakTargets = append(b.breakTargets, jumpTarget{label, brk})
+		b.continueTargets = append(b.continueTargets, jumpTarget{label, cont})
+	} else {
+		// Keep push/pop symmetric.
+		b.breakTargets = append(b.breakTargets, jumpTarget{"\x00", brk})
+		b.continueTargets = append(b.continueTargets, jumpTarget{"\x00", cont})
+	}
+}
+
+func (b *builder) popLoop() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-2]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-2]
+}
+
+// findTarget resolves a break/continue label: "" means the innermost
+// enclosing construct (the last pushed empty-label entry).
+func findTarget(stack []jumpTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" {
+			if stack[i].label == "" {
+				return stack[i].block
+			}
+			continue
+		}
+		if stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// isPanicCall matches a direct call of the predeclared panic. Shadowed
+// panic identifiers are rare enough to ignore without type information;
+// the builder errs toward treating the call as terminating, which only
+// ever adds an Exit edge.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,356 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parseFunc type-checks one source file and returns the named function
+// plus the type info, for graph and def-use construction.
+func parseFunc(t *testing.T, src, name string) (*ast.FuncDecl, *types.Info, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("cfgtest", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == name {
+			return fn, info, fset
+		}
+	}
+	t.Fatalf("no function %s", name)
+	return nil, nil, nil
+}
+
+func buildGraph(t *testing.T, src, name string) (*Graph, *ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fn, info, _ := parseFunc(t, src, name)
+	return New(fn.Body), fn, info
+}
+
+func TestStraightLineReachesExit(t *testing.T) {
+	g, _, _ := buildGraph(t, `package p
+func f() int { x := 1; x++; return x }`, "f")
+	if !g.ExitReachable() {
+		t.Fatal("straight-line function should reach exit")
+	}
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry block has %d nodes, want 3", len(g.Entry.Nodes))
+	}
+}
+
+func TestInfiniteForNoExit(t *testing.T) {
+	g, _, _ := buildGraph(t, `package p
+func f() { n := 0; for { n++ } }`, "f")
+	if g.ExitReachable() {
+		t.Fatal("for {} without break must not reach exit")
+	}
+}
+
+func TestForWithBreakReachesExit(t *testing.T) {
+	g, _, _ := buildGraph(t, `package p
+func f() { for { break } }`, "f")
+	if !g.ExitReachable() {
+		t.Fatal("for { break } reaches exit")
+	}
+}
+
+func TestBoundedForReachesExit(t *testing.T) {
+	g, _, _ := buildGraph(t, `package p
+func f(n int) { for i := 0; i < n; i++ { _ = i } }`, "f")
+	if !g.ExitReachable() {
+		t.Fatal("conditional for reaches exit through its condition")
+	}
+}
+
+func TestLabeledBreakEscapesOuterLoop(t *testing.T) {
+	g, _, _ := buildGraph(t, `package p
+func f(ch chan int) {
+outer:
+	for {
+		for {
+			if <-ch == 0 {
+				break outer
+			}
+		}
+	}
+}`, "f")
+	if !g.ExitReachable() {
+		t.Fatal("labeled break out of nested infinite loops reaches exit")
+	}
+}
+
+func TestUnlabeledBreakTrappedInInnerLoop(t *testing.T) {
+	g, _, _ := buildGraph(t, `package p
+func f(ch chan int) {
+	for {
+		for {
+			if <-ch == 0 {
+				break // leaves only the inner loop
+			}
+		}
+	}
+}`, "f")
+	if g.ExitReachable() {
+		t.Fatal("unlabeled break escapes only the inner loop; exit must stay unreachable")
+	}
+}
+
+func TestLabeledContinueTargetsOuterLoop(t *testing.T) {
+	g, _, _ := buildGraph(t, `package p
+func f(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for {
+			continue outer
+		}
+	}
+}`, "f")
+	if !g.ExitReachable() {
+		t.Fatal("labeled continue re-enters the bounded outer loop; exit reachable via its condition")
+	}
+}
+
+func TestGotoForwardAndBackward(t *testing.T) {
+	g, _, _ := buildGraph(t, `package p
+func f(n int) {
+	if n > 0 {
+		goto done
+	}
+	goto again
+again:
+	n++
+done:
+	_ = n
+}`, "f")
+	if !g.ExitReachable() {
+		t.Fatal("goto-structured flow reaches exit")
+	}
+}
+
+func TestGotoSelfLoopNoExit(t *testing.T) {
+	g, _, _ := buildGraph(t, `package p
+func f(n int) {
+loop:
+	n++
+	goto loop
+}`, "f")
+	if g.ExitReachable() {
+		t.Fatal("goto self-loop must not reach exit")
+	}
+}
+
+func TestSelectWithReturnCase(t *testing.T) {
+	g, _, _ := buildGraph(t, `package p
+func f(stop chan struct{}, work chan int) {
+	for {
+		select {
+		case <-stop:
+			return
+		case w := <-work:
+			_ = w
+		}
+	}
+}`, "f")
+	if !g.ExitReachable() {
+		t.Fatal("select with a return case reaches exit (the run-loop stop shape)")
+	}
+}
+
+func TestSelectLoopWithoutReturnNoExit(t *testing.T) {
+	g, _, _ := buildGraph(t, `package p
+func f(stop chan struct{}, work chan int) {
+	for {
+		select {
+		case <-stop:
+			// observed but not acted on: the loop never terminates
+		case w := <-work:
+			_ = w
+		}
+	}
+}`, "f")
+	if g.ExitReachable() {
+		t.Fatal("select loop that never returns must not reach exit")
+	}
+}
+
+func TestBareSelectBlocksForever(t *testing.T) {
+	g, _, _ := buildGraph(t, `package p
+func f() { select {} }`, "f")
+	if g.ExitReachable() {
+		t.Fatal("select{} blocks forever; exit unreachable")
+	}
+}
+
+func TestRangeLoopTerminates(t *testing.T) {
+	g, _, _ := buildGraph(t, `package p
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}`, "f")
+	if !g.ExitReachable() {
+		t.Fatal("range loop reaches exit")
+	}
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	g, _, _ := buildGraph(t, `package p
+func f(n int) int {
+	switch n {
+	case 0:
+		n = 1
+		fallthrough
+	case 1:
+		return n
+	default:
+		return -1
+	}
+	return -2
+}`, "f")
+	if !g.ExitReachable() {
+		t.Fatal("switch reaches exit")
+	}
+	// With a default present and every case returning, the statement
+	// after the switch is dead: verify the builder did not add a
+	// head→after edge.
+	live := g.Reachable(g.Entry)
+	dead := 0
+	for _, b := range g.Blocks {
+		if !live[b] {
+			dead++
+		}
+	}
+	if dead == 0 {
+		t.Fatal("expected the post-switch block (return -2) to be unreachable")
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g, _, _ := buildGraph(t, `package p
+func f() { for { panic("boom") } }`, "f")
+	if !g.ExitReachable() {
+		t.Fatal("panic terminates the function; exit reachable")
+	}
+}
+
+func TestDeferIsStraightLine(t *testing.T) {
+	g, _, _ := buildGraph(t, `package p
+import "sync"
+func f(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+	_ = mu
+}`, "f")
+	if !g.ExitReachable() {
+		t.Fatal("defer does not alter flow")
+	}
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry block has %d nodes, want 3 (lock, defer, use)", len(g.Entry.Nodes))
+	}
+}
+
+// findCall locates the first call whose printed callee contains name.
+func findCall(fn *ast.FuncDecl, name string) *ast.CallExpr {
+	var out *ast.CallExpr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+			out = call
+		}
+		return true
+	})
+	return out
+}
+
+func TestDecidersEnclosingIf(t *testing.T) {
+	src := `package p
+func act() {}
+func f(err error) {
+	if err != nil {
+		act()
+	}
+}`
+	g, fn, _ := buildGraph(t, src, "f")
+	call := findCall(fn, "act")
+	blk := g.BlockOf(call)
+	if blk == nil {
+		t.Fatal("BlockOf failed to locate the call")
+	}
+	deciders := g.Deciders(blk)
+	if len(deciders) != 1 {
+		t.Fatalf("got %d deciders, want 1", len(deciders))
+	}
+	if _, ok := deciders[0].Branch.(*ast.BinaryExpr); !ok {
+		t.Fatalf("decider condition is %T, want the err != nil comparison", deciders[0].Branch)
+	}
+}
+
+func TestDecidersEarlyReturn(t *testing.T) {
+	src := `package p
+func act() {}
+func f(err error) {
+	if err == nil {
+		return
+	}
+	act()
+}`
+	g, fn, _ := buildGraph(t, src, "f")
+	blk := g.BlockOf(findCall(fn, "act"))
+	deciders := g.Deciders(blk)
+	if len(deciders) != 1 {
+		t.Fatalf("early-return guard: got %d deciders, want 1", len(deciders))
+	}
+}
+
+func TestNonDecidingBranch(t *testing.T) {
+	src := `package p
+func act() {}
+func f(verbose bool) {
+	if verbose {
+		_ = verbose // both arms fall through to act
+	}
+	act()
+}`
+	g, fn, _ := buildGraph(t, src, "f")
+	blk := g.BlockOf(findCall(fn, "act"))
+	if n := len(g.Deciders(blk)); n != 0 {
+		t.Fatalf("fall-through branch must not decide the call; got %d deciders", n)
+	}
+}
+
+func TestBlockOfSkipsNestedFuncLit(t *testing.T) {
+	src := `package p
+func act() {}
+func f() {
+	g := func() { act() }
+	g()
+}`
+	g, fn, _ := buildGraph(t, src, "f")
+	if blk := g.BlockOf(findCall(fn, "act")); blk != nil {
+		t.Fatal("a call inside a nested FuncLit belongs to that literal's own graph")
+	}
+}

@@ -1,0 +1,97 @@
+package cfg
+
+import "go/ast"
+
+// Reachable returns the set of blocks reachable from `from` (inclusive)
+// along successor edges. The Exit block appears in the set when the
+// function can terminate from there.
+func (g *Graph) Reachable(from *Block) map[*Block]bool {
+	seen := map[*Block]bool{from: true}
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// ExitReachable reports whether the function can terminate: the Exit
+// block is reachable from Entry. A false result means every execution
+// eventually enters a loop (or a bare select{}) it can never leave —
+// the goroutine-leak shape.
+func (g *Graph) ExitReachable() bool {
+	return g.Reachable(g.Entry)[g.Exit]
+}
+
+// BlockOf returns the block whose Nodes contain n (by subtree
+// membership: n may sit anywhere inside one of the block's recorded
+// statements or condition expressions). Returns nil when n is not in
+// the graph — e.g. it belongs to a nested function literal's body,
+// which has its own graph.
+func (g *Graph) BlockOf(n ast.Node) *Block {
+	for _, blk := range g.Blocks {
+		for _, node := range blk.Nodes {
+			if containsNode(node, n) {
+				return blk
+			}
+		}
+	}
+	return nil
+}
+
+// containsNode reports whether needle is root itself or inside its
+// subtree, without descending into nested function literals (their
+// bodies belong to a different graph).
+func containsNode(root, needle ast.Node) bool {
+	if root == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if n == needle {
+			found = true
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Deciders returns the branch blocks whose condition decides whether
+// target runs: blocks ending in a two-way test where exactly one of the
+// outcome edges can reach target. Guards written as early returns
+//
+//	if err == nil { return }
+//	redial()
+//
+// decide the call below them just as much as an enclosing if does, and
+// both shapes land in the result. Multiway heads (switch, select,
+// range) never decide — their dispatch is modelled as nondeterministic.
+// Only blocks reachable from Entry are considered.
+func (g *Graph) Deciders(target *Block) []*Block {
+	live := g.Reachable(g.Entry)
+	var out []*Block
+	for _, blk := range g.Blocks {
+		if !live[blk] || blk.Branch == nil || blk.TrueSucc == nil || blk.FalseSucc == nil {
+			continue
+		}
+		trueReaches := g.Reachable(blk.TrueSucc)[target]
+		falseReaches := g.Reachable(blk.FalseSucc)[target]
+		if trueReaches != falseReaches {
+			out = append(out, blk)
+		}
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"eventspace/internal/lint/cfg"
+)
+
+// Hotalloc keeps the marked hot paths allocation-free, statically. A
+// function whose doc comment carries a `//lint:hotpath` line promises
+// the zero-allocation contract the runtime benchmarks gate (mark
+// collector encode, PastSet fixed-record writes, the breaker skip
+// path): every CFG-reachable heap-allocation construct inside it — and
+// inside any package-local function it calls — is a finding. The
+// recognized allocation shapes are make/new/append, slice and map
+// composite literals, &T{} escapes, function literals (closure
+// capture), go statements, fmt/errors calls, string<->[]byte
+// conversions, non-constant string concatenation, and value arguments
+// boxed into interface parameters.
+//
+// Cold paths that genuinely must allocate (an error construction behind
+// a corruption check) stay visible and get an explicit
+// `//lint:allow hotalloc <reason>` — the contract is "no unexplained
+// allocation", not "no error handling".
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid reachable heap allocations (make/new/append, composite literals, closures, " +
+		"boxing, fmt, string conversions) in functions marked //lint:hotpath and the " +
+		"package-local functions they call",
+	Run: runHotalloc,
+}
+
+func runHotalloc(pass *Pass) error {
+	decls := funcDecls(pass.Pkg)
+
+	// hot maps each function that must stay allocation-free to the
+	// marked root it is reachable from: the marked functions seed the
+	// set, then package-local callees join it transitively.
+	hot := make(map[*types.Func]string)
+	var queue []*types.Func
+	for fn, decl := range decls {
+		if decl.Body != nil && isHotpathMarked(decl) && !isTestFile(pass, decl) {
+			hot[fn] = fn.Name()
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range localCallees(pass.Pkg, decls, decls[fn].Body) {
+			if _, seen := hot[callee]; seen {
+				continue
+			}
+			if decl, ok := decls[callee]; ok && decl.Body != nil {
+				hot[callee] = hot[fn]
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	for fn, root := range hot {
+		checkHotBody(pass, decls[fn], fn.Name(), root)
+	}
+	return nil
+}
+
+// isHotpathMarked reports whether the declaration's doc comment carries
+// a //lint:hotpath line.
+func isHotpathMarked(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, "lint:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotBody reports every reachable allocation construct in one hot
+// function body. Nested function literals are flagged as allocations
+// themselves but their interiors are not walked (they run on their own
+// stack frames and, if called locally, join the hot set on their own).
+func checkHotBody(pass *Pass, decl *ast.FuncDecl, name, root string) {
+	g := cfg.New(decl.Body)
+	live := g.Reachable(g.Entry)
+	reachable := func(n ast.Node) bool {
+		blk := g.BlockOf(n)
+		return blk == nil || live[blk]
+	}
+	where := fmt.Sprintf("hot path %s", name)
+	if root != name {
+		where = fmt.Sprintf("%s (reachable from //lint:hotpath root %s)", name, root)
+	}
+	report := func(n ast.Node, what string) {
+		if reachable(n) {
+			pass.Reportf(n.Pos(), "%s in %s: the zero-allocation contract forbids it; "+
+				"restructure onto the stack or annotate the cold path with a reason", what, where)
+		}
+	}
+	handled := make(map[ast.Node]bool)
+	info := pass.Pkg.Info
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n, "function literal (closure allocation)")
+			return false
+		case *ast.GoStmt:
+			report(n, "go statement (goroutine allocation)")
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := n.X.(*ast.CompositeLit); ok {
+					handled[lit] = true
+					report(n, "&composite literal (escapes to the heap)")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && tv.Value == nil && isString(tv.Type) {
+					report(n, "string concatenation (builds a new string)")
+				}
+			}
+		case *ast.CompositeLit:
+			if handled[n] {
+				return true
+			}
+			if t := info.Types[n].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					report(n, "slice literal")
+				case *types.Map:
+					report(n, "map literal")
+				}
+			}
+		case *ast.CallExpr:
+			classifyHotCall(pass, n, report)
+		}
+		return true
+	})
+}
+
+// classifyHotCall reports the allocating call shapes: allocation
+// builtins, conversions that copy string/byte data, fmt/errors
+// formatting, and interface boxing of value arguments.
+func classifyHotCall(pass *Pass, call *ast.CallExpr, report func(ast.Node, string)) {
+	info := pass.Pkg.Info
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				report(call, "call to "+b.Name())
+			case "append":
+				report(call, "call to append (growth allocates)")
+			}
+			return
+		}
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// A conversion: only string <-> []byte/[]rune copies.
+		if len(call.Args) == 1 && isAllocatingConversion(tv.Type, info.Types[call.Args[0]].Type) {
+			report(call, "string conversion (copies the data)")
+		}
+		return
+	}
+	if fn := calleeFunc(info, call.Fun); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "errors":
+			// Formatting allocates the result and boxes its operands;
+			// one diagnostic covers the call.
+			report(call, "call to "+fn.Pkg().Name()+"."+fn.Name())
+			return
+		}
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // an existing slice is passed through unboxed
+			}
+			pt = params.At(params.Len() - 1).Type().Underlying().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		at := info.Types[arg]
+		if !types.IsInterface(pt) || at.Type == nil || at.IsNil() ||
+			types.IsInterface(at.Type) || pointerShaped(at.Type) {
+			continue
+		}
+		report(arg, "interface boxing of a value argument")
+	}
+}
+
+// isAllocatingConversion reports whether converting from -> to copies
+// backing data (string <-> []byte / []rune in either direction).
+func isAllocatingConversion(to, from types.Type) bool {
+	if from == nil {
+		return false
+	}
+	return (isString(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// pointerShaped reports whether boxing a value of t into an interface
+// stores the word directly, with no allocation.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}

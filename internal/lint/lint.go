@@ -45,9 +45,15 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// Suite is every analyzer in the order reports are printed.
+// Suite is every analyzer in the order reports are printed. The first
+// five are per-statement AST matchers; the last four (goroleak,
+// vcregister, hotalloc, errclass) are dataflow analyzers built on the
+// internal/lint/cfg control-flow graphs.
 func Suite() []*Analyzer {
-	return []*Analyzer{Wallclock, CloseOnce, NilSafe, AtomicAlign, LockedSend}
+	return []*Analyzer{
+		Wallclock, CloseOnce, NilSafe, AtomicAlign, LockedSend,
+		Goroleak, VCRegister, Hotalloc, ErrClass,
+	}
 }
 
 // A Diagnostic is one finding, positioned and attributed.

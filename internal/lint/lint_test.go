@@ -104,6 +104,64 @@ func TestLockedSendFixture(t *testing.T) {
 	}
 }
 
+func TestGoroleakFixture(t *testing.T) {
+	res := checkFixture(t, Goroleak, "goroleak", "eventspace/internal/escope")
+	if len(res.Diags) != 3 {
+		t.Fatalf("goroleak found %d leaks, want 3: %v", len(res.Diags), res.Diags)
+	}
+}
+
+func TestGoroleakScopedToGoroutinePackages(t *testing.T) {
+	res, err := runFixture(fixtureLoader(t), Goroleak, "testdata", "goroleak", "eventspace/cmd/esbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diags) != 0 {
+		t.Fatalf("goroleak fired outside the instrumented packages: %v", res.Diags)
+	}
+}
+
+func TestVCRegisterFixture(t *testing.T) {
+	res := checkFixture(t, VCRegister, "vcregister", "eventspace/internal/archive")
+	// Both the direct sleep and the transitive queue drain must land.
+	var direct, transitive bool
+	for _, d := range res.Diags {
+		if strings.Contains(d.Message, "vclock.Sleep") {
+			direct = true
+		}
+		if strings.Contains(d.Message, "via drainOne") {
+			transitive = true
+		}
+	}
+	if !direct || !transitive {
+		t.Fatalf("vcregister missed a bug shape (direct=%v transitive=%v): %v", direct, transitive, res.Diags)
+	}
+}
+
+func TestHotallocFixture(t *testing.T) {
+	res := checkFixture(t, Hotalloc, "hotalloc", "eventspace/internal/lintfixture/hotalloc")
+	if len(res.Diags) < 10 {
+		t.Fatalf("hotalloc found only %d allocation sites: %v", len(res.Diags), res.Diags)
+	}
+}
+
+func TestErrClassFixture(t *testing.T) {
+	res := checkFixture(t, ErrClass, "errclass", "eventspace/internal/escope")
+	if len(res.Diags) != 3 {
+		t.Fatalf("errclass found %d raw retry deciders, want 3: %v", len(res.Diags), res.Diags)
+	}
+}
+
+func TestErrClassScopedToTransportPackages(t *testing.T) {
+	res, err := runFixture(fixtureLoader(t), ErrClass, "testdata", "errclass", "eventspace/internal/collect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diags) != 0 {
+		t.Fatalf("errclass fired outside paths/escope: %v", res.Diags)
+	}
+}
+
 // TestAnnotationNeedsReason: a bare //lint:allow is reported under the
 // pseudo-analyzer "lint" and does not suppress the finding it sits on.
 func TestAnnotationNeedsReason(t *testing.T) {
@@ -154,13 +212,31 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("module load found only %d packages", len(pkgs))
 	}
-	for _, pkg := range pkgs {
-		diags, err := RunPackage(pkg, Suite())
-		if err != nil {
-			t.Fatal(err)
-		}
+	perPkg, err := RunPackages(pkgs, Suite(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, diags := range perPkg {
 		for _, d := range diags {
 			t.Errorf("%s", d)
 		}
+	}
+}
+
+// TestAuditAnnotationsCleanOnRepo is the lint-fix-check gate: every
+// //lint:allow in the module carries a reason and names a real
+// analyzer. Fixtures under testdata (which carry deliberately bare
+// annotations) are excluded by the walk itself.
+func TestAuditAnnotationsCleanOnRepo(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := AuditAnnotations(root, Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 }

@@ -41,6 +41,7 @@ type Loader struct {
 
 	imported map[string]*types.Package // test-free versions, by import path
 	loading  map[string]bool           // cycle guard
+	loadedAs map[string][]*Package     // LoadAs results, by dir + "\x00" + path
 }
 
 // NewLoader returns a loader for the module rooted at root (the
@@ -69,6 +70,7 @@ func NewLoader(root string) (*Loader, error) {
 		root:     root,
 		imported: make(map[string]*types.Package),
 		loading:  make(map[string]bool),
+		loadedAs: make(map[string][]*Package),
 	}, nil
 }
 
@@ -183,8 +185,24 @@ func newInfo() *types.Info {
 // LoadAs parses and type-checks one directory, test files included,
 // under the given import path. Fixtures use this to pose as
 // instrumented packages. When the directory holds an external _test
-// package it is checked too and returned second.
+// package it is checked too and returned second. Results are memoized
+// by (dir, path): a test binary running many analyzers over the same
+// fixture — or the suite gate re-walking the module — checks each
+// directory once.
 func (l *Loader) LoadAs(dir, path string) ([]*Package, error) {
+	key := dir + "\x00" + path
+	if pkgs, ok := l.loadedAs[key]; ok {
+		return pkgs, nil
+	}
+	pkgs, err := l.loadAs(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	l.loadedAs[key] = pkgs
+	return pkgs, nil
+}
+
+func (l *Loader) loadAs(dir, path string) ([]*Package, error) {
 	files, xtest, err := l.parseDir(dir, true)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,81 @@
+// Package errclass is a lint fixture for the error-classification
+// analyzer: retry and redial decisions must flow through the
+// transport-vs-application classifier, never a raw err != nil test —
+// retrying an application error re-executes a remote side effect.
+package errclass
+
+import (
+	"errors"
+
+	"eventspace/internal/paths"
+)
+
+type conn struct {
+	attempts int
+}
+
+func (c *conn) redial()      {}
+func (c *conn) growBackoff() {}
+func (c *conn) noteFault()   {}
+
+// RawGuard treats every error as a dead transport: the bug shape.
+func (c *conn) RawGuard(err error) {
+	if err != nil {
+		c.redial() // want `decided by the raw error test err != nil`
+	}
+}
+
+// EarlyReturn guards with the inverted shape; the decider analysis
+// sees it the same way.
+func (c *conn) EarlyReturn(err error) {
+	if err == nil {
+		return
+	}
+	c.redial() // want `decided by the raw error test err == nil`
+}
+
+// Compound still classifies by raw nil-ness, just with a bound.
+func (c *conn) Compound(err error, max int) {
+	if err != nil && c.attempts < max {
+		c.growBackoff() // want `decided by the raw error test`
+	}
+}
+
+// Classified is the accepted shape: the classifier's verdict decides.
+func (c *conn) Classified(err error) {
+	if paths.Retryable(err) {
+		c.redial()
+	}
+}
+
+// ThroughVar flows the verdict through a local: the def-use chain
+// connects it back to the classifier call.
+func (c *conn) ThroughVar(err error) {
+	ok := paths.Retryable(err)
+	if ok {
+		c.redial()
+	}
+}
+
+// Sentinel classifies against a concrete value with errors.Is: also
+// deliberate classification.
+func (c *conn) Sentinel(err error) {
+	if errors.Is(err, paths.ErrNoNext) {
+		c.noteFault()
+	}
+}
+
+// Paced is decided by a counter, not an error: out of scope.
+func (c *conn) Paced() {
+	if c.attempts > 0 {
+		c.growBackoff()
+	}
+}
+
+// AllowedPacing documents an accepted raw-test exception.
+func (c *conn) AllowedPacing(err error) {
+	if err != nil {
+		//lint:allow errclass backoff here paces the loop; the retry decision is upstream
+		c.growBackoff()
+	}
+}

@@ -1,0 +1,85 @@
+// Package goroleak is a lint fixture for the goroutine-leak analyzer:
+// every goroutine started in an instrumented package must have a
+// reachable stop path in its control flow.
+package goroleak
+
+import "eventspace/internal/vclock"
+
+// Puller mirrors the escope.Puller run-loop shapes.
+type Puller struct {
+	stop   chan struct{}
+	events chan int
+	pull   func() int
+}
+
+// StartLeaky launches the PR-2 leak shape: a pull loop with no stop
+// check can never terminate.
+func (p *Puller) StartLeaky() {
+	go p.runForever() // want `can never terminate`
+}
+
+func (p *Puller) runForever() {
+	for {
+		p.events <- p.pull()
+	}
+}
+
+// StartStoppable is the accepted shape: the select observes stop and
+// returns.
+func (p *Puller) StartStoppable() {
+	go p.run()
+}
+
+func (p *Puller) run() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case p.events <- p.pull():
+		}
+	}
+}
+
+// StartObserverOnly observes the stop channel but never acts on it:
+// the loop still cannot terminate.
+func (p *Puller) StartObserverOnly() {
+	go func() { // want `can never terminate`
+		for {
+			select {
+			case <-p.stop:
+				// seen, but the loop goes around again
+			case p.events <- p.pull():
+			}
+		}
+	}()
+}
+
+// StartModel leaks identically under vclock.Go: registration does not
+// make an unstoppable body stoppable.
+func (p *Puller) StartModel() {
+	vclock.Go(func() { // want `can never terminate`
+		for {
+			p.events <- p.pull()
+		}
+	})
+}
+
+// StartBounded runs a bounded drain: straight-line termination.
+func (p *Puller) StartBounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			p.events <- p.pull()
+		}
+	}()
+}
+
+// StartDynamic launches a func value: not resolvable, not checked.
+func (p *Puller) StartDynamic(fn func()) {
+	go fn()
+}
+
+// StartAllowed carries the annotation form with its mandatory reason.
+func (p *Puller) StartAllowed() {
+	//lint:allow goroleak daemon by design, killed with the process
+	go p.runForever()
+}

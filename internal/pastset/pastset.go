@@ -165,11 +165,15 @@ func (e *Element) Write(data []byte) (uint64, error) {
 // immediately — and performs no allocation; together with a stack scratch
 // buffer on the caller's side this makes the whole tuple write
 // allocation-free. len(data) must equal the element's record size.
+//
+//lint:hotpath fixed-record write; the no-retention/no-alloc contract collectors rely on
 func (e *Element) WriteCopy(data []byte) (uint64, error) {
 	if e.recSize == 0 {
+		//lint:allow hotalloc misuse error: fires only on a non-fixed element, never per record
 		return 0, fmt.Errorf("%w: %q", ErrNotFixed, e.name)
 	}
 	if len(data) != e.recSize {
+		//lint:allow hotalloc misuse error: a size mismatch is a caller bug, not a per-record path
 		return 0, fmt.Errorf("%w: %q: %d bytes, want %d", ErrRecordSize, e.name, len(data), e.recSize)
 	}
 	e.mu.Lock()

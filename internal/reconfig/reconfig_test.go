@@ -14,6 +14,7 @@ import (
 	"eventspace/internal/pastset"
 	"eventspace/internal/paths"
 	"eventspace/internal/reconfig"
+	"eventspace/internal/vclock"
 	"eventspace/internal/vnet"
 	"eventspace/internal/wantrace"
 )
@@ -386,5 +387,34 @@ func TestAttachValidation(t *testing.T) {
 	defer plain.Close()
 	if _, err := reconfig.Attach(plain, reconfig.Policy{}); err == nil {
 		t.Fatal("health-free scope accepted")
+	}
+}
+
+// TestStopUnwindsRegisteredRepairGoroutine pins the manager's clock
+// contract (the PR-4 bug class, statically guarded by internal/lint's
+// vcregister analyzer): the repair goroutine blocks on a vclock.Queue,
+// so Attach must start it via vclock.Go — under the virtual clock it
+// registers immediately — and Stop must unwind it completely, leaving
+// no live model goroutine to stall a later Quiesce.
+func TestStopUnwindsRegisteredRepairGoroutine(t *testing.T) {
+	tb := lanRig(t)
+	scope, _ := guardedScope(t, tb)
+	// The rig is built in real time; only the manager's lifetime runs
+	// under the virtual clock.
+	vclock.Enable(0)
+	defer vclock.Disable()
+	mgr, err := reconfig.Attach(scope, reconfig.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, live, _ := vclock.Stats(); live != 1 {
+		t.Fatalf("repair goroutine not registered with the clock: live = %d, want 1", live)
+	}
+	mgr.Stop()
+	mgr.Stop() // idempotent: the second call must not hang or panic
+	if !vclock.Quiesce(5 * time.Second) {
+		_, running, live, timers := vclock.Stats()
+		t.Fatalf("repair goroutine still registered after Stop: running=%d live=%d timers=%d",
+			running, live, timers)
 	}
 }
