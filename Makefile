@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-archive bench-staleness lint vet eslint lint-fix-check ci
+.PHONY: build test test-short bench bench-archive bench-staleness bench-query lint vet eslint lint-fix-check ci
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,14 @@ bench-archive:
 	$(GO) test -race ./internal/archive/
 	ARCHIVE_BENCH_OUT=$(CURDIR)/BENCH_archive.json \
 		$(GO) test -race -run TestRecordArchiveBench ./internal/bench/
+
+# bench-query runs the esql test suite under the race detector and
+# records parse cost, evaluator throughput, and the static-pushdown
+# speedup on a selective predicate in BENCH_query.json.
+bench-query:
+	$(GO) test -race ./internal/query/ ./cmd/esquery/
+	QUERY_BENCH_OUT=$(CURDIR)/BENCH_query.json \
+		$(GO) test -race -run TestRecordQueryBench ./internal/bench/
 
 # bench-staleness runs the straggler-storm chaos suite under the race
 # detector and records the degradation ladder's accuracy-versus-overhead

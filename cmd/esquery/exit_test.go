@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExitStatus pins the exit-status contract: 0 on success, 1 on
+// runtime failures (bad archive, query errors), 2 on usage errors —
+// which must name what was wrong, including the offending flag.
+func TestExitStatus(t *testing.T) {
+	dir := t.TempDir()
+	writeTestArchive(t, dir)
+	cases := []struct {
+		name   string
+		args   []string
+		want   int
+		stderr string // substring the diagnostics must contain
+	}{
+		{"ok info", []string{"info", "-dir", dir}, 0, ""},
+		{"ok filter", []string{"filter", "-dir", dir, "-ecids", "1"}, 0, ""},
+		{"ok query", []string{"query", "-dir", dir, "-q", "select count()"}, 0, ""},
+		{"no args", []string{}, 2, "usage"},
+		{"unknown subcommand", []string{"frobnicate"}, 2, `unknown subcommand "frobnicate"`},
+		{"unknown flag", []string{"filter", "-dir", dir, "-bogus"}, 2, "-bogus"},
+		{"bad flag value", []string{"filter", "-dir", dir, "-since", "soon"}, 2, "-since"},
+		{"bad ecid list", []string{"filter", "-dir", dir, "-ecids", "abc"}, 2, "-ecids"},
+		{"bad op name", []string{"filter", "-dir", dir, "-ops", "bogus"}, 2, "-ops"},
+		{"negative since", []string{"filter", "-dir", dir, "-since", "-5"}, 2, "-since"},
+		{"missing dir", []string{"filter"}, 2, "-dir is required"},
+		{"missing query", []string{"query", "-dir", dir}, 2, "-q is required"},
+		{"bad esql", []string{"query", "-dir", dir, "-q", "select bogus("}, 2, "esql"},
+		{"missing archive", []string{"info", "-dir", dir + "/nope"}, 1, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			got := 999
+			out := capture(t, func() error {
+				got = run(tc.args, &stderr)
+				return nil
+			})
+			if got != tc.want {
+				t.Fatalf("run(%q) = %d, want %d\nstderr: %s\nstdout: %s",
+					tc.args, got, tc.want, stderr.String(), out)
+			}
+			if tc.stderr != "" && !strings.Contains(stderr.String(), tc.stderr) {
+				t.Fatalf("stderr %q does not mention %q", stderr.String(), tc.stderr)
+			}
+		})
+	}
+}

@@ -2,71 +2,132 @@
 // persistent segment directories written by System.AttachArchive (or an
 // archive.Writer directly). Everything it prints is computed from the
 // archived tuples' own timestamps, so running it twice over the same
-// archive produces byte-identical output.
+// archive produces byte-identical output (watch, which follows a live
+// directory, is the one exception).
 //
 // Usage:
 //
 //	esquery info    -dir DIR
-//	esquery filter  -dir DIR [-ecids 1,2] [-ops read,write,mode] [-min N] [-max N]
+//	esquery query   -dir DIR -q "select * where ecid in (1, 2) and latency > 500us limit 10"
+//	esquery filter  -dir DIR [-ecids 1,2] [-ops read,write,mode,alert] [-min N] [-max N]
 //	                [-since D] [-until D] [-limit N]
 //	esquery summarize -dir DIR [filters] [-bucket D]
-//	esquery replay  -dir DIR [filters] [-monitor loadbalance|stats] [-window N]
+//	esquery replay  -dir DIR [filters] [-monitor loadbalance|stats|alerts]
+//	                [-window N] [-alerts "stmt[; stmt]"]
+//	esquery watch   -dir DIR -q "alert when ..." [-poll D] [-once]
 //
-// info lists the segments and their header indexes; filter streams
-// matching tuples as text; summarize aggregates per collector (and per
-// time bucket with -bucket); replay feeds the archive through the
-// load-balance or statistics join offline and renders the same viz
-// output the live monitor would.
+// info lists the segments and their header indexes; query runs one esql
+// statement (select * streams tuples, aggregate selects print a result
+// table, alert statements replay the archive's data tuples through the
+// continuous-query engine); filter and summarize are flag sugar that
+// compiles to esql and runs through the same evaluator; replay feeds
+// the archive through the load-balance or statistics join offline — or,
+// with -monitor alerts, regenerates an alert stream and verifies it
+// against the archived alert tuples; watch tails a live archive
+// directory, evaluating standing alert statements as segments grow.
+//
+// Select predicates are pushed down into the archive's header-index and
+// columnar block-skip paths, so selective queries touch only the
+// segments they must.
 //
 // Exit status: 0 ok, 1 query/replay failure, 2 usage error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"eventspace/internal/archive"
 	"eventspace/internal/collect"
-	"eventspace/internal/paths"
+	"eventspace/internal/query"
 	"eventspace/internal/viz"
 )
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: esquery <info|filter|summarize|replay> -dir DIR [flags]")
-	fmt.Fprintln(os.Stderr, "run 'esquery <subcommand> -h' for the subcommand's flags")
-	os.Exit(2)
+// usageError marks an error caused by bad invocation (exit 2) rather
+// than a failing query (exit 1).
+type usageError struct{ error }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+func printUsage(w io.Writer) {
+	fmt.Fprintln(w, "usage: esquery <info|query|filter|summarize|replay|watch> -dir DIR [flags]")
+	fmt.Fprintln(w, "run 'esquery <subcommand> -h' for the subcommand's flags")
 }
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// run dispatches one invocation and maps its error to an exit status.
+func run(args []string, stderr io.Writer) int {
+	if len(args) < 1 {
+		printUsage(stderr)
+		return 2
 	}
-	sub, args := os.Args[1], os.Args[2:]
+	sub, rest := args[0], args[1:]
 	var err error
 	switch sub {
 	case "info":
-		err = runInfo(args)
+		err = runInfo(rest)
+	case "query":
+		err = runQuery(rest)
 	case "filter":
-		err = runFilter(args)
+		err = runFilter(rest)
 	case "summarize":
-		err = runSummarize(args)
+		err = runSummarize(rest)
 	case "replay":
-		err = runReplay(args)
+		err = runReplay(rest)
+	case "watch":
+		err = runWatch(rest)
 	default:
-		usage()
+		fmt.Fprintf(stderr, "esquery: unknown subcommand %q\n", sub)
+		printUsage(stderr)
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "esquery:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "esquery:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			return 2
+		}
+		return 1
 	}
+	return 0
 }
 
-// queryFlags registers the shared -dir and filter flags on fs.
+// newFlagSet builds a subcommand flag set whose errors flow back as
+// usage errors naming the offending flag, instead of exiting inline.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+// parseFlags parses args, converting failures into usage errors that
+// say which flag was at fault (the flag package's own message does).
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(os.Stderr)
+			fs.Usage()
+			return usageError{errors.New("help requested")}
+		}
+		return usageError{err}
+	}
+	return nil
+}
+
+// queryFlags registers the shared -dir and filter flags on fs. The
+// filter flags are sugar: they compile to an esql predicate and run
+// through the same evaluator and pushdown as an explicit -q statement.
 type queryFlags struct {
 	dir   *string
 	ecids *string
@@ -81,7 +142,7 @@ func addQueryFlags(fs *flag.FlagSet) *queryFlags {
 	return &queryFlags{
 		dir:   fs.String("dir", "", "archive directory (required)"),
 		ecids: fs.String("ecids", "", "comma-separated event-collector ids to keep (empty: all)"),
-		ops:   fs.String("ops", "", "comma-separated op kinds to keep: read,write,mode (empty: all)"),
+		ops:   fs.String("ops", "", "comma-separated op kinds to keep: read,write,mode,alert (empty: all)"),
 		min:   fs.Int64("min", 0, "minimum tuple Start stamp, inclusive"),
 		max:   fs.Int64("max", 0, "maximum tuple Start stamp, inclusive (0: unbounded)"),
 		since: fs.Duration("since", 0, "minimum tuple Start as model time past the virtual epoch (e.g. 800us); overrides -min"),
@@ -89,60 +150,94 @@ func addQueryFlags(fs *flag.FlagSet) *queryFlags {
 	}
 }
 
-// parse opens the reader and builds the query out of the flag values.
-func (qf *queryFlags) parse() (*archive.Reader, archive.Query, error) {
-	var q archive.Query
-	if *qf.dir == "" {
-		return nil, q, fmt.Errorf("-dir is required")
-	}
+// predicate compiles the filter flags into an esql where-predicate
+// (empty when the flags select everything).
+func (qf *queryFlags) predicate() (string, error) {
+	var conj []string
 	if *qf.ecids != "" {
+		var ids []string
 		for _, s := range strings.Split(*qf.ecids, ",") {
 			id, err := strconv.ParseUint(strings.TrimSpace(s), 10, 32)
 			if err != nil {
-				return nil, q, fmt.Errorf("-ecids: %v", err)
+				return "", usagef("-ecids: %v", err)
 			}
-			q.ECIDs = append(q.ECIDs, uint32(id))
+			ids = append(ids, strconv.FormatUint(id, 10))
 		}
+		conj = append(conj, "ecid in ("+strings.Join(ids, ", ")+")")
 	}
 	if *qf.ops != "" {
+		var ops []string
 		for _, s := range strings.Split(*qf.ops, ",") {
-			switch strings.TrimSpace(s) {
-			case "read":
-				q.Ops = append(q.Ops, paths.OpRead)
-			case "write":
-				q.Ops = append(q.Ops, paths.OpWrite)
-			case "mode":
-				q.Ops = append(q.Ops, paths.OpMode)
+			op := strings.TrimSpace(s)
+			switch op {
+			case "read", "write", "mode", "alert":
+				ops = append(ops, op)
 			default:
-				return nil, q, fmt.Errorf("-ops: unknown op %q (want read, write or mode)", s)
+				return "", usagef("-ops: unknown op %q (want read, write, mode or alert)", s)
 			}
 		}
-	}
-	q.MinStamp, q.MaxStamp = *qf.min, *qf.max
-	// -since/-until express the same stamp range as model time past the
-	// virtual epoch; like -min/-max they ride the segment header-index
-	// pushdown, so out-of-range segments are skipped without decoding.
-	if *qf.since > 0 {
-		q.MinStamp = int64(*qf.since)
-	}
-	if *qf.until > 0 {
-		q.MaxStamp = int64(*qf.until)
+		conj = append(conj, "op in ("+strings.Join(ops, ", ")+")")
 	}
 	if *qf.until < 0 || *qf.since < 0 {
-		return nil, q, fmt.Errorf("-since/-until must be non-negative")
+		return "", usagef("-since/-until must be non-negative")
 	}
-	r, err := archive.OpenReader(*qf.dir)
+	// -since/-until express the same stamp range as model time past the
+	// virtual epoch; both spellings compile to start bounds, which the
+	// static pushdown turns back into the segment header-index skip.
+	min, max := *qf.min, *qf.max
+	if *qf.since > 0 {
+		min = int64(*qf.since)
+	}
+	if *qf.until > 0 {
+		max = int64(*qf.until)
+	}
+	if min > 0 {
+		conj = append(conj, fmt.Sprintf("start >= %d", min))
+	}
+	if max > 0 {
+		conj = append(conj, fmt.Sprintf("start <= %d", max))
+	}
+	return strings.Join(conj, " and "), nil
+}
+
+// compile builds the esql statement the flags express and parses it
+// through the one evaluator code path.
+func (qf *queryFlags) compile(selectList string, trailer string) (*query.Stmt, error) {
+	pred, err := qf.predicate()
 	if err != nil {
-		return nil, q, err
+		return nil, err
 	}
-	return r, q, nil
+	src := "select " + selectList
+	if pred != "" {
+		src += " where " + pred
+	}
+	if trailer != "" {
+		src += " " + trailer
+	}
+	stmt, err := query.Parse(src)
+	if err != nil {
+		// The flags were already validated; a parse failure here is a
+		// compiler bug, not a user error.
+		return nil, fmt.Errorf("internal: flags compiled to bad esql %q: %v", src, err)
+	}
+	return stmt, nil
+}
+
+// open opens the archive named by -dir.
+func (qf *queryFlags) open() (*archive.Reader, error) {
+	if *qf.dir == "" {
+		return nil, usagef("-dir is required")
+	}
+	return archive.OpenReader(*qf.dir)
 }
 
 func runInfo(args []string) error {
-	fs := flag.NewFlagSet("esquery info", flag.ExitOnError)
+	fs := newFlagSet("esquery info")
 	qf := addQueryFlags(fs)
-	fs.Parse(args)
-	r, _, err := qf.parse()
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	r, err := qf.open()
 	if err != nil {
 		return err
 	}
@@ -174,22 +269,17 @@ func runInfo(args []string) error {
 	return nil
 }
 
-func runFilter(args []string) error {
-	fs := flag.NewFlagSet("esquery filter", flag.ExitOnError)
-	qf := addQueryFlags(fs)
-	limit := fs.Int("limit", 0, "stop after N matching tuples (0: no limit)")
-	fs.Parse(args)
-	r, q, err := qf.parse()
-	if err != nil {
-		return err
-	}
-	n := 0
-	stats, err := r.Scan(q, func(t collect.TraceTuple) bool {
-		fmt.Printf("ec %4d  %-5s ret %3d  seq %8d  start %12d  end %12d  lat %s\n",
-			t.ECID, opName(t.Op), t.Ret, t.Seq, t.Start, t.End, time.Duration(t.End-t.Start))
-		n++
-		return *limit == 0 || n < *limit
-	})
+// printTuple renders one tuple in the filter/select-* line format.
+func printTuple(t collect.TraceTuple) bool {
+	fmt.Printf("ec %4d  %-5s ret %3d  seq %8d  start %12d  end %12d  lat %s\n",
+		t.ECID, t.Op, t.Ret, t.Seq, t.Start, t.End, time.Duration(t.End-t.Start))
+	return true
+}
+
+// streamStmt runs a select-* statement against the archive, printing
+// matching tuples and the pushdown accounting line.
+func streamStmt(r *archive.Reader, stmt *query.Stmt) error {
+	stats, err := query.Scan(r, stmt, printTuple)
 	if err != nil {
 		return err
 	}
@@ -198,71 +288,228 @@ func runFilter(args []string) error {
 	return nil
 }
 
-func runSummarize(args []string) error {
-	fs := flag.NewFlagSet("esquery summarize", flag.ExitOnError)
+func runFilter(args []string) error {
+	fs := newFlagSet("esquery filter")
 	qf := addQueryFlags(fs)
-	bucket := fs.Duration("bucket", 0, "also print a per-collector time series with this bucket width")
-	fs.Parse(args)
-	r, q, err := qf.parse()
+	limit := fs.Int("limit", 0, "stop after N matching tuples (0: no limit)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	trailer := ""
+	if *limit > 0 {
+		trailer = fmt.Sprintf("limit %d", *limit)
+	}
+	stmt, err := qf.compile("*", trailer)
 	if err != nil {
 		return err
 	}
-	sums, stats, err := r.Summarize(q)
+	r, err := qf.open()
+	if err != nil {
+		return err
+	}
+	return streamStmt(r, stmt)
+}
+
+func runSummarize(args []string) error {
+	fs := newFlagSet("esquery summarize")
+	qf := addQueryFlags(fs)
+	bucket := fs.Duration("bucket", 0, "also print a per-collector time series with this bucket width")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	stmt, err := qf.compile("count(), errors(), min(start), max(end), mean(latency)", "by ecid")
+	if err != nil {
+		return err
+	}
+	r, err := qf.open()
+	if err != nil {
+		return err
+	}
+	res, stats, err := query.Run(r, stmt)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%-6s %10s %8s %14s %14s %12s\n", "ecid", "tuples", "errors", "first-start", "last-end", "mean-lat")
-	for _, c := range sums {
+	for _, row := range res.Rows {
 		fmt.Printf("%-6d %10d %8d %14d %14d %12s\n",
-			c.ECID, c.Tuples, c.Errors, c.FirstStart, c.LastEnd, c.MeanLatency())
+			row.Group, row.Vals[0].I, row.Vals[1].I, row.Vals[2].I, row.Vals[3].I,
+			time.Duration(row.Vals[4].I))
 	}
 	fmt.Printf("%d tuples matched (%d/%d segments skipped)\n",
 		stats.TuplesMatched, stats.SegmentsSkipped, stats.Segments)
 	if *bucket > 0 {
-		series, _, err := r.TimeSeries(q, *bucket)
+		series, err := qf.compile("count(), mean(latency)", fmt.Sprintf("by ecid window %s", *bucket))
 		if err != nil {
 			return err
 		}
-		ids := make([]uint32, 0, len(series))
-		for id := range series {
-			ids = append(ids, id)
+		sres, _, err := query.Run(r, series)
+		if err != nil {
+			return err
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			fmt.Printf("ec %d series (bucket %s):\n", id, *bucket)
-			for _, p := range series[id] {
-				fmt.Printf("  %12d  %8d tuples  mean-lat %s\n", p.Bucket, p.Tuples, p.MeanLatency())
+		var cur uint32
+		started := false
+		for _, row := range sres.Rows {
+			if !started || row.Group != cur {
+				fmt.Printf("ec %d series (bucket %s):\n", row.Group, *bucket)
+				cur, started = row.Group, true
 			}
+			fmt.Printf("  %12d  %8d tuples  mean-lat %s\n",
+				row.Bucket, row.Vals[0].I, time.Duration(row.Vals[1].I))
 		}
 	}
 	return nil
 }
 
-func runReplay(args []string) error {
-	fs := flag.NewFlagSet("esquery replay", flag.ExitOnError)
+// printResult renders an aggregate select's result table.
+func printResult(res *query.Result) {
+	if res.Grouped {
+		fmt.Printf("%-6s ", "ecid")
+	}
+	if res.Windowed {
+		fmt.Printf("%14s ", "bucket")
+	}
+	for _, c := range res.Cols {
+		fmt.Printf("%16s ", c)
+	}
+	fmt.Println()
+	for _, row := range res.Rows {
+		if res.Grouped {
+			fmt.Printf("%-6d ", row.Group)
+		}
+		if res.Windowed {
+			fmt.Printf("%14d ", row.Bucket)
+		}
+		for _, v := range row.Vals {
+			fmt.Printf("%16s ", v)
+		}
+		fmt.Println()
+	}
+}
+
+// queryNames maps statement hashes to their canonical spellings, for
+// labelling alert output.
+func queryNames(stmts ...*query.Stmt) map[uint64]string {
+	names := make(map[uint64]string, len(stmts))
+	for _, s := range stmts {
+		names[s.Hash()] = s.String()
+	}
+	return names
+}
+
+func runQuery(args []string) error {
+	fs := newFlagSet("esquery query")
 	qf := addQueryFlags(fs)
-	mon := fs.String("monitor", "loadbalance", "which monitor to replay: loadbalance or stats")
-	window := fs.Int("window", 0, "sliding median window for stats replay (0: default)")
-	fs.Parse(args)
-	r, q, err := qf.parse()
+	qsrc := fs.String("q", "", "esql statement to run (required)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *qsrc == "" {
+		return usagef("-q is required")
+	}
+	stmt, err := query.Parse(*qsrc)
+	if err != nil {
+		return usageError{err}
+	}
+	r, err := qf.open()
 	if err != nil {
 		return err
 	}
-	infos, err := archive.ReadMeta(r.Dir())
+	switch {
+	case stmt.Alert:
+		// Running an alert statement offline is a replay: the archive's
+		// data tuples stream through a fresh engine.
+		expected := 0
+		if infos, err := archive.ReadMeta(r.Dir()); err == nil {
+			expected = len(infos)
+		}
+		alerts, err := query.Replay(r, []*query.Stmt{stmt}, expected)
+		if err != nil {
+			return err
+		}
+		return viz.Alerts(os.Stdout, stmt.String(), alerts, queryNames(stmt))
+	case stmt.Star:
+		return streamStmt(r, stmt)
+	default:
+		res, stats, err := query.Run(r, stmt)
+		if err != nil {
+			return err
+		}
+		printResult(res)
+		fmt.Printf("%d tuples matched (%d/%d segments skipped)\n",
+			stats.TuplesMatched, stats.SegmentsSkipped, stats.Segments)
+		return nil
+	}
+}
+
+// parseAlertList parses a ';'-separated list of standing alert
+// statements.
+func parseAlertList(src string) ([]*query.Stmt, error) {
+	var stmts []*query.Stmt
+	for _, part := range strings.Split(src, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		st, err := query.Parse(part)
+		if err != nil {
+			return nil, usageError{err}
+		}
+		if !st.Alert {
+			return nil, usagef("%q is not an alert statement", part)
+		}
+		stmts = append(stmts, st)
+	}
+	if len(stmts) == 0 {
+		return nil, usagef("no alert statements given")
+	}
+	return stmts, nil
+}
+
+func runReplay(args []string) error {
+	fs := newFlagSet("esquery replay")
+	qf := addQueryFlags(fs)
+	mon := fs.String("monitor", "loadbalance", "what to replay: loadbalance, stats, or alerts")
+	window := fs.Int("window", 0, "sliding median window for stats replay (0: default)")
+	alertsSrc := fs.String("alerts", "", "standing alert statements for -monitor alerts, ';'-separated")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	pred, err := qf.predicate()
+	if err != nil {
+		return err
+	}
+	var q archive.Query
+	if pred != "" {
+		// The replay filters reuse the esql compile + pushdown path; for
+		// these flag shapes the extraction is exact, not just
+		// conservative, so the Query is the same one the old flag
+		// plumbing built.
+		stmt, err := qf.compile("*", "")
+		if err != nil {
+			return err
+		}
+		q = stmt.Pushdown()
+	}
+	r, err := qf.open()
 	if err != nil {
 		return err
 	}
 	switch *mon {
-	case "loadbalance":
-		rep, stats, err := archive.ReplayLastArrival(r, infos, q)
+	case "loadbalance", "stats":
+		infos, err := archive.ReadMeta(r.Dir())
 		if err != nil {
 			return err
 		}
-		fed, matched := rep.Fed()
-		fmt.Printf("replayed %d tuples (%d contributor tuples, %d rounds lost, %d/%d segments skipped)\n",
-			fed, matched, rep.Lost(), stats.SegmentsSkipped, stats.Segments)
-		return viz.WeightedTree(os.Stdout, rep.Weighted())
-	case "stats":
+		if *mon == "loadbalance" {
+			rep, stats, err := archive.ReplayLastArrival(r, infos, q)
+			if err != nil {
+				return err
+			}
+			fed, matched := rep.Fed()
+			fmt.Printf("replayed %d tuples (%d contributor tuples, %d rounds lost, %d/%d segments skipped)\n",
+				fed, matched, rep.Lost(), stats.SegmentsSkipped, stats.Segments)
+			return viz.WeightedTree(os.Stdout, rep.Weighted())
+		}
 		rep, stats, err := archive.ReplayStats(r, infos, q, *window)
 		if err != nil {
 			return err
@@ -271,20 +518,130 @@ func runReplay(args []string) error {
 		fmt.Printf("replayed %d tuples (%d joined, %d rounds, %d/%d segments skipped)\n",
 			fed, matched, rep.RoundsAnalyzed(), stats.SegmentsSkipped, stats.Segments)
 		return viz.AnalysisTree(os.Stdout, rep.Tree(), nil)
+	case "alerts":
+		if *alertsSrc == "" {
+			return usagef("-monitor alerts needs -alerts \"stmt[; stmt]\"")
+		}
+		stmts, err := parseAlertList(*alertsSrc)
+		if err != nil {
+			return err
+		}
+		expected := 0
+		if infos, err := archive.ReadMeta(r.Dir()); err == nil {
+			expected = len(infos)
+		}
+		// Regenerate from the data tuples, then verify against the alert
+		// tuples the live engine archived. The filter flags do not apply
+		// here: the engine needs the whole stream to be faithful.
+		regen, err := query.Replay(r, stmts, expected)
+		if err != nil {
+			return err
+		}
+		archived, _, err := archive.ReplayAlerts(r, archive.Query{})
+		if err != nil {
+			return err
+		}
+		if err := viz.Alerts(os.Stdout, "replayed "+r.Dir(), regen, queryNames(stmts...)); err != nil {
+			return err
+		}
+		if len(archived) == 0 {
+			fmt.Printf("no archived alerts to verify against (%d regenerated)\n", len(regen))
+			return nil
+		}
+		if len(archived) != len(regen) {
+			return fmt.Errorf("alert stream mismatch: %d archived, %d regenerated", len(archived), len(regen))
+		}
+		for i := range archived {
+			if archived[i] != regen[i] {
+				return fmt.Errorf("alert stream mismatch at #%d: archived %+v, regenerated %+v", i, archived[i], regen[i])
+			}
+		}
+		fmt.Printf("alert streams match (%d alerts)\n", len(regen))
+		return nil
 	default:
-		return fmt.Errorf("-monitor: unknown monitor %q (want loadbalance or stats)", *mon)
+		return usagef("-monitor: unknown monitor %q (want loadbalance, stats or alerts)", *mon)
 	}
 }
 
-func opName(op paths.OpKind) string {
-	switch op {
-	case paths.OpRead:
-		return "read"
-	case paths.OpWrite:
-		return "write"
-	case paths.OpMode:
-		return "mode"
-	default:
-		return fmt.Sprintf("op(%d)", op)
+func runWatch(args []string) error {
+	fs := newFlagSet("esquery watch")
+	dir := fs.String("dir", "", "archive directory to follow (required)")
+	qsrc := fs.String("q", "", "standing alert statements, ';'-separated (required)")
+	poll := fs.Duration("poll", time.Second, "poll interval between archive re-scans")
+	once := fs.Bool("once", false, "evaluate what the archive holds now, then exit")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return usagef("-dir is required")
+	}
+	if *qsrc == "" {
+		return usagef("-q is required")
+	}
+	if *poll <= 0 {
+		return usagef("-poll must be positive")
+	}
+	stmts, err := parseAlertList(*qsrc)
+	if err != nil {
+		return err
+	}
+	expected := 0
+	if infos, err := archive.ReadMeta(*dir); err == nil {
+		expected = len(infos)
+	}
+	names := queryNames(stmts...)
+	eng := query.NewEngine(nil)
+	eng.SetExpected(expected)
+	eng.OnAlert(func(a collect.AlertTuple) {
+		group := "all"
+		if a.Group != 0 {
+			group = fmt.Sprintf("ec %d", a.Group)
+		}
+		fmt.Printf("#%-3d %12v  %-6s  %s\n", a.Seq, time.Duration(a.At), group, names[a.QueryHash])
+	})
+	for _, st := range stmts {
+		if err := eng.Register(st); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "watching %s: %d standing queries (poll %s)\n", *dir, len(stmts), *poll)
+	// Each pass snapshots the directory and feeds only the tuples past
+	// the high-water mark: the archive is append-only in segment-id
+	// order, so the already-fed prefix is stable across re-scans and the
+	// engine sees each tuple exactly once, in archive order.
+	var fed uint64
+	for {
+		r, err := archive.OpenReader(*dir)
+		if err != nil {
+			return err
+		}
+		var seen uint64
+		var offerErr error
+		_, err = r.Scan(archive.Query{}, func(t collect.TraceTuple) bool {
+			seen++
+			if seen <= fed {
+				return true
+			}
+			if oerr := eng.Offer(t); oerr != nil {
+				offerErr = oerr
+				return false
+			}
+			return true
+		})
+		if err == nil {
+			err = offerErr
+		}
+		if err != nil {
+			return err
+		}
+		if seen > fed {
+			fed = seen
+		}
+		if *once {
+			return nil
+		}
+		// The watch loop follows a real on-disk archive from outside any
+		// model run, so it must pace itself on real time.
+		time.Sleep(*poll) //lint:allow wallclock watch tails a live directory from outside the model; modelled time does not advance here
 	}
 }

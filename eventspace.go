@@ -57,6 +57,7 @@ import (
 	"eventspace/internal/metrics"
 	"eventspace/internal/monitor"
 	"eventspace/internal/paths"
+	"eventspace/internal/query"
 	"eventspace/internal/reconfig"
 	"eventspace/internal/vnet"
 )
@@ -297,6 +298,47 @@ func ReplayStats(r *ArchiveReader, infos []CollectorInfo, q ArchiveQuery, window
 func ReplayModes(r *ArchiveReader, scope string, q ArchiveQuery) (*ModeReplay, error) {
 	rep, _, err := archive.ReplayModes(r, scope, q)
 	return rep, err
+}
+
+// Continuous queries (esql, see DESIGN.md "Query language"): a small
+// typed query language over trace tuples. One-shot selects run against
+// an archive with predicate pushdown into the header-index and columnar
+// block-skip paths (cmd/esquery "query"); standing alert statements run
+// continuously on the live gather stream
+// (System.AttachArchiveQueries), firing alerts that are archived as
+// OpAlert control tuples and regenerate byte-identically on replay.
+type (
+	// QueryStmt is a parsed, type-checked esql statement. Its String is
+	// the canonical spelling; its Hash identifies it in alert tuples.
+	QueryStmt = query.Stmt
+	// QueryEngine evaluates standing alert statements over a tuple
+	// stream (live or replayed).
+	QueryEngine = query.Engine
+	// QueryResult is an aggregate select's result table.
+	QueryResult = query.Result
+	// QueryRow is one result row (group, window bucket, values).
+	QueryRow = query.Row
+	// AlertTuple is one fired continuous-query alert, as encoded into
+	// an OpAlert control tuple.
+	AlertTuple = collect.AlertTuple
+)
+
+// ParseQuery parses and type-checks one esql statement.
+func ParseQuery(src string) (*QueryStmt, error) { return query.Parse(src) }
+
+// ReplayAlerts extracts the archived alert control tuples matching q,
+// in firing order.
+func ReplayAlerts(r *ArchiveReader, q ArchiveQuery) ([]AlertTuple, error) {
+	out, _, err := archive.ReplayAlerts(r, q)
+	return out, err
+}
+
+// RegenerateAlerts re-runs standing alert statements over an archive's
+// data tuples, regenerating the alert stream a live engine with the
+// same statements produced. expected is the coverage() roster size
+// (len of ReadArchiveMeta's result for the recorded tree).
+func RegenerateAlerts(r *ArchiveReader, stmts []*QueryStmt, expected int) ([]AlertTuple, error) {
+	return query.Replay(r, stmts, expected)
 }
 
 // Fault event kinds.

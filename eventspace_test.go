@@ -2,6 +2,7 @@ package eventspace
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 	"time"
 
@@ -460,5 +461,101 @@ func TestFacadeConstants(t *testing.T) {
 	cfg := DefaultMonitorConfig()
 	if cfg.Strategy != CoschedAfterUnblock {
 		t.Fatal("default strategy diverges from the paper")
+	}
+}
+
+// TestContinuousQueryAlertFiresAndReplays is the alert-replay contract
+// of the continuous-query engine, end to end through the façade: a
+// chaos run with injected latency spikes fires standing esql alerts,
+// the alerts are archived as OpAlert control tuples next to the data
+// tuples, and two independent offline paths — decoding the archived
+// alert tuples, and re-running the same statements over the archived
+// data — reproduce the live alert stream exactly, on both segment
+// formats.
+func TestContinuousQueryAlertFiresAndReplays(t *testing.T) {
+	for _, format := range []struct {
+		name string
+		f    int
+	}{{"row", ArchiveFormatRow}, {"columnar", ArchiveFormatColumnar}} {
+		t.Run(format.name, func(t *testing.T) {
+			testContinuousQueryAlertFiresAndReplays(t, format.f)
+		})
+	}
+}
+
+func testContinuousQueryAlertFiresAndReplays(t *testing.T, format int) {
+	dir := t.TempDir()
+	// Two standing queries: a latency-spike detector the injected chaos
+	// should trip, and an activity alert guaranteed to fire once two
+	// consecutive windows hold data.
+	sources := []string{
+		"alert when p99(latency) > 1ms by ecid window 1ms",
+		"alert when count() > 0 window 1ms for 2 rounds",
+	}
+	var live []AlertTuple
+	err := RunVirtual(func() error {
+		sys, err := New(SingleTin(8), CoschedAfterUnblock)
+		if err != nil {
+			return err
+		}
+		defer sys.Close()
+		tree, err := sys.BuildTree(TreeSpec{
+			Name: "T", Fanout: 4, ThreadsPerHost: 1, Instrument: true, TraceBufCap: 4096,
+		})
+		if err != nil {
+			return err
+		}
+		// Latency chaos: a third of all message legs take an extra 2ms.
+		sys.Testbed().Net.InjectFaults(FaultPlan{
+			Seed:  11,
+			Rules: []FaultRule{{SpikeProb: 0.3, SpikeDelay: 2 * time.Millisecond}},
+		})
+		rec, err := sys.AttachArchiveQueries(tree, 200*time.Microsecond, ArchiveOptions{
+			Dir: dir, SegmentBytes: 4096, Format: format,
+		}, sources...)
+		if err != nil {
+			return err
+		}
+		if _, err := sys.RunWorkload(Workload{Trees: []*Tree{tree}, Iterations: 60}); err != nil {
+			return err
+		}
+		rec.Stop()
+		if err := rec.Err(); err != nil {
+			return err
+		}
+		live = rec.Alerts()
+		sys.Close()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) == 0 {
+		t.Fatal("no alerts fired during the chaos run")
+	}
+
+	r, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	archived, err := ReplayAlerts(r, ArchiveQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(archived, live) {
+		t.Fatalf("archived alert tuples differ from live:\narchived %v\nlive     %v", archived, live)
+	}
+	stmts := make([]*QueryStmt, len(sources))
+	for i, src := range sources {
+		if stmts[i], err = ParseQuery(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regen, err := RegenerateAlerts(r, stmts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(regen, live) {
+		t.Fatalf("regenerated alerts differ from live:\nregen %v\nlive  %v", regen, live)
 	}
 }

@@ -121,6 +121,28 @@ func ReplayModes(r *Reader, scope string, q Query) (*monitor.ModeReplay, ScanSta
 	return rep, stats, nil
 }
 
+// ReplayAlerts scans the archive for continuous-query alert control
+// tuples and returns them in archive (firing) order. The ECID/op
+// restriction rides the header-index pushdown, so segments without
+// control tuples are skipped without decoding. Comparing the result
+// against a query-engine replay of the same archive's data tuples
+// verifies the alert stream end to end.
+func ReplayAlerts(r *Reader, q Query) ([]collect.AlertTuple, ScanStats, error) {
+	q.ECIDs = []uint32{collect.ControlECID}
+	q.Ops = []paths.OpKind{paths.OpAlert}
+	var out []collect.AlertTuple
+	stats, err := r.Scan(q, func(t collect.TraceTuple) bool {
+		if a, ok := collect.DecodeAlert(t); ok {
+			out = append(out, a)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
 // ReplayStats scans the archive and re-runs statsm's wrapper-statistics
 // computation offline. window is the sliding median window (values < 1
 // use the analysis default).

@@ -19,6 +19,7 @@ import (
 	"eventspace/internal/metrics"
 	"eventspace/internal/monitor"
 	"eventspace/internal/paths"
+	"eventspace/internal/query"
 	"eventspace/internal/reconfig"
 	"eventspace/internal/vclock"
 	"eventspace/internal/vnet"
@@ -216,6 +217,12 @@ type ArchiveRecorder struct {
 	scope  *escope.Scope
 	puller *escope.Puller
 	writer *archive.Writer
+	// sink is what gathered batches are appended through: the writer
+	// directly, or a continuous-query engine interposed in front of it
+	// (AttachArchiveQueries). The final drain in Stop uses the same
+	// sink, so standing queries see every tuple the archive records.
+	sink   escope.RawSink
+	engine *query.Engine
 
 	stopOnce sync.Once
 	stopErr  error
@@ -227,7 +234,30 @@ type ArchiveRecorder struct {
 // and a puller drains every event collector's trace buffer into the
 // archive every pull interval (0 pulls continuously).
 func (s *System) AttachArchive(tree *cluster.Tree, pull time.Duration, opts archive.Options) (*ArchiveRecorder, error) {
-	return s.attachArchive(tree, pull, opts, false)
+	return s.attachArchive(tree, pull, opts, false, nil)
+}
+
+// AttachArchiveQueries is AttachArchive with standing continuous
+// queries: each esql alert statement is parsed, registered with a
+// query.Engine interposed between the gather thread and the archive
+// writer, and evaluated against every batch the recorder archives.
+// Fired alerts are archived as OpAlert control tuples in firing order;
+// replaying the archived data tuples through the same statements
+// (query.Replay, esquery replay -alerts) regenerates the identical
+// stream. The engine's coverage() roster is the tree's collector set.
+func (s *System) AttachArchiveQueries(tree *cluster.Tree, pull time.Duration, opts archive.Options, alerts ...string) (*ArchiveRecorder, error) {
+	stmts := make([]*query.Stmt, 0, len(alerts))
+	for _, src := range alerts {
+		st, err := query.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v", err)
+		}
+		if !st.Alert {
+			return nil, fmt.Errorf("core: %q is not an alert statement", src)
+		}
+		stmts = append(stmts, st)
+	}
+	return s.attachArchive(tree, pull, opts, false, stmts)
 }
 
 // ResumeArchive is AttachArchive for the recorder that continues after a
@@ -237,10 +267,10 @@ func (s *System) AttachArchive(tree *cluster.Tree, pull time.Duration, opts arch
 // sealed and resumed archives in sequence then covers the whole run with
 // no duplicates.
 func (s *System) ResumeArchive(tree *cluster.Tree, pull time.Duration, opts archive.Options) (*ArchiveRecorder, error) {
-	return s.attachArchive(tree, pull, opts, true)
+	return s.attachArchive(tree, pull, opts, true, nil)
 }
 
-func (s *System) attachArchive(tree *cluster.Tree, pull time.Duration, opts archive.Options, fromEnd bool) (*ArchiveRecorder, error) {
+func (s *System) attachArchive(tree *cluster.Tree, pull time.Duration, opts archive.Options, fromEnd bool, stmts []*query.Stmt) (*ArchiveRecorder, error) {
 	if !tree.Spec.Instrument {
 		return nil, fmt.Errorf("core: archive recorder needs an instrumented tree")
 	}
@@ -271,8 +301,22 @@ func (s *System) attachArchive(tree *cluster.Tree, pull time.Duration, opts arch
 		w.Close()
 		return nil, err
 	}
-	rec := &ArchiveRecorder{scope: scope, writer: w}
-	rec.puller = scope.StartPuller(pull, escope.ArchiveSink(w))
+	rec := &ArchiveRecorder{scope: scope, writer: w, sink: w}
+	if len(stmts) > 0 {
+		eng := query.NewEngine(w)
+		eng.SetExpected(len(tree.Collectors.All()))
+		eng.UseMetrics(opts.Metrics, tree.Name)
+		for _, st := range stmts {
+			if err := eng.Register(st); err != nil {
+				scope.Close()
+				w.Close()
+				return nil, err
+			}
+		}
+		rec.engine = eng
+		rec.sink = eng
+	}
+	rec.puller = scope.StartPuller(pull, escope.ArchiveSink(rec.sink))
 	s.mu.Lock()
 	s.monitors = append(s.monitors, rec)
 	s.mu.Unlock()
@@ -296,6 +340,19 @@ func (r *ArchiveRecorder) RecordModes(lb *monitor.LoadBalance) {
 // Writer exposes the recorder's archive writer (e.g. for Stats).
 func (r *ArchiveRecorder) Writer() *archive.Writer { return r.writer }
 
+// Engine exposes the recorder's continuous-query engine (nil unless the
+// recorder was attached with AttachArchiveQueries).
+func (r *ArchiveRecorder) Engine() *query.Engine { return r.engine }
+
+// Alerts returns the alerts the recorder's standing queries have fired
+// so far, in firing order (nil without AttachArchiveQueries).
+func (r *ArchiveRecorder) Alerts() []collect.AlertTuple {
+	if r.engine == nil {
+		return nil
+	}
+	return r.engine.Alerts()
+}
+
 // Puller exposes the recorder's gather thread, for accounting.
 func (r *ArchiveRecorder) Puller() *escope.Puller { return r.puller }
 
@@ -316,7 +373,9 @@ func (r *ArchiveRecorder) Stop() {
 			defer close(done)
 			rep, err := r.scope.Pull(&paths.Ctx{Thread: r.scope.Name() + "/final"})
 			if err == nil && len(rep.Data) > 0 {
-				if err := r.writer.AppendRaw(rep.Data); err != nil {
+				// The drain goes through the same sink as the puller, so
+				// standing queries evaluate the final batch too.
+				if err := r.sink.AppendRaw(rep.Data); err != nil {
 					r.stopErr = err
 				}
 			}

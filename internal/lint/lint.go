@@ -226,6 +226,7 @@ var instrumentedPkgs = map[string]bool{
 	"eventspace/internal/pastset":  true,
 	"eventspace/internal/archive":  true,
 	"eventspace/internal/reconfig": true,
+	"eventspace/internal/query":    true,
 	"eventspace/cmd/esquery":       true,
 }
 

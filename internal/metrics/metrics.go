@@ -65,6 +65,10 @@ const (
 	// time from a gathered batch's enqueue to its application, with bytes
 	// counting the batch payload (sheds are accounted in counters).
 	KindIngest
+	// KindQuery measures the continuous-query engine's per-batch
+	// evaluation: the time to ingest one gathered batch through every
+	// standing query, with bytes counting the batch payload.
+	KindQuery
 	numKinds
 )
 
@@ -89,6 +93,8 @@ func (k Kind) String() string {
 		return "breaker"
 	case KindIngest:
 		return "ingest"
+	case KindQuery:
+		return "query"
 	default:
 		return "kind(?)"
 	}

@@ -42,6 +42,12 @@ const (
 	// degraded runs. Control tuples carry the reserved collector id 0 and
 	// never travel down a path as requests.
 	OpMode
+	// OpAlert marks a control tuple: a continuous query firing on the
+	// live gather stream. Like OpMode it rides the reserved collector
+	// id 0, is archived alongside data tuples, and never travels down a
+	// path as a request — replaying an archive regenerates the identical
+	// alert stream from the data tuples alone.
+	OpAlert
 )
 
 // String returns the conventional name of the operation kind.
@@ -53,6 +59,8 @@ func (k OpKind) String() string {
 		return "read"
 	case OpMode:
 		return "mode"
+	case OpAlert:
+		return "alert"
 	default:
 		return fmt.Sprintf("op(%d)", uint16(k))
 	}

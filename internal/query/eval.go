@@ -1,0 +1,425 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"eventspace/internal/archive"
+	"eventspace/internal/collect"
+	"eventspace/internal/hrtime"
+)
+
+// fieldVal extracts a field from a tuple as its raw int64.
+func fieldVal(t collect.TraceTuple, f Field) int64 {
+	switch f {
+	case FieldECID:
+		return int64(t.ECID)
+	case FieldOp:
+		return int64(t.Op)
+	case FieldRet:
+		return int64(t.Ret)
+	case FieldSeq:
+		return int64(t.Seq)
+	case FieldStart:
+		return t.Start
+	case FieldEnd:
+		return t.End
+	case FieldLatency:
+		return t.End - t.Start
+	default:
+		return 0
+	}
+}
+
+// evalRow evaluates a row-context expression against one tuple. The
+// expression must have passed checkExpr(rowCtx).
+func evalRow(e Expr, t collect.TraceTuple) Value {
+	switch n := e.(type) {
+	case *Lit:
+		return n.Val
+	case *FieldRef:
+		return Value{K: fieldKind(n.F), I: fieldVal(t, n.F)}
+	case *Not:
+		v := evalRow(n.X, t)
+		return boolValue(!v.Bool())
+	case *In:
+		return evalIn(n, evalRow(n.X, t))
+	case *Binary:
+		return evalBinary(n, evalRow(n.X, t), evalRow(n.Y, t))
+	}
+	return Value{}
+}
+
+// boolValue packs a bool.
+func boolValue(b bool) Value {
+	if b {
+		return Value{K: KBool, I: 1}
+	}
+	return Value{K: KBool}
+}
+
+// evalIn tests set membership of an evaluated operand.
+func evalIn(n *In, x Value) Value {
+	hit := false
+	for _, v := range n.List {
+		if x.K == KOp || v.K == KOp {
+			if x.K == v.K && x.I == v.I {
+				hit = true
+				break
+			}
+			continue
+		}
+		if x.K == KFloat || v.K == KFloat {
+			if x.asFloat() == v.asFloat() {
+				hit = true
+				break
+			}
+		} else if x.I == v.I {
+			hit = true
+			break
+		}
+	}
+	return boolValue(hit != n.Neg)
+}
+
+// evalBinary applies a checked binary operator to evaluated operands.
+func evalBinary(n *Binary, x, y Value) Value {
+	switch n.Op {
+	case OpAnd:
+		return boolValue(x.Bool() && y.Bool())
+	case OpOr:
+		return boolValue(x.Bool() || y.Bool())
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return boolValue(compare(n.Op, x, y))
+	case OpDiv:
+		d := y.asFloat()
+		if d == 0 {
+			return Value{K: KFloat}
+		}
+		return Value{K: KFloat, F: x.asFloat() / d}
+	default: // OpAdd, OpSub, OpMul
+		if n.t == KFloat {
+			var f float64
+			switch n.Op {
+			case OpAdd:
+				f = x.asFloat() + y.asFloat()
+			case OpSub:
+				f = x.asFloat() - y.asFloat()
+			default:
+				f = x.asFloat() * y.asFloat()
+			}
+			return Value{K: KFloat, F: f}
+		}
+		var i int64
+		switch n.Op {
+		case OpAdd:
+			i = x.I + y.I
+		case OpSub:
+			i = x.I - y.I
+		default:
+			i = x.I * y.I
+		}
+		return Value{K: n.t, I: i}
+	}
+}
+
+// compare applies an ordered comparison. Mixed int/duration compare on
+// raw nanoseconds; anything involving a float compares as float64.
+func compare(op BinOp, x, y Value) bool {
+	if x.K == KOp || y.K == KOp {
+		switch op {
+		case OpEq:
+			return x.I == y.I
+		case OpNe:
+			return x.I != y.I
+		}
+		return false
+	}
+	if x.K == KFloat || y.K == KFloat {
+		a, b := x.asFloat(), y.asFloat()
+		switch op {
+		case OpEq:
+			return a == b
+		case OpNe:
+			return a != b
+		case OpLt:
+			return a < b
+		case OpLe:
+			return a <= b
+		case OpGt:
+			return a > b
+		default:
+			return a >= b
+		}
+	}
+	a, b := x.I, y.I
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+// computeAgg evaluates one aggregate over a tuple set. expected is the
+// coverage() denominator (the collector roster size). Empty sets yield
+// zero values — count()/errors() 0, everything else the zero of its
+// kind — which is the honest answer for "nothing in the window".
+func computeAgg(a *Agg, tuples []collect.TraceTuple, expected int) Value {
+	switch a.Kind {
+	case AggCount:
+		return Value{K: KInt, I: int64(len(tuples))}
+	case AggErrors:
+		var n int64
+		for _, t := range tuples {
+			if t.Ret < 0 {
+				n++
+			}
+		}
+		return Value{K: KInt, I: n}
+	case AggCoverage:
+		if expected <= 0 {
+			return Value{K: KFloat}
+		}
+		seen := make(map[uint32]struct{}, expected)
+		for _, t := range tuples {
+			seen[t.ECID] = struct{}{}
+		}
+		return Value{K: KFloat, F: float64(len(seen)) / float64(expected)}
+	case AggDistinct:
+		seen := make(map[int64]struct{}, 16)
+		for _, t := range tuples {
+			seen[fieldVal(t, a.Arg)] = struct{}{}
+		}
+		return Value{K: KInt, I: int64(len(seen))}
+	case AggSum:
+		var s int64
+		for _, t := range tuples {
+			s += fieldVal(t, a.Arg)
+		}
+		return Value{K: fieldKind(a.Arg), I: s}
+	case AggMean:
+		if len(tuples) == 0 {
+			return Value{K: a.typ()}
+		}
+		var s int64
+		for _, t := range tuples {
+			s += fieldVal(t, a.Arg)
+		}
+		if a.typ() == KDur {
+			return Value{K: KDur, I: s / int64(len(tuples))}
+		}
+		return Value{K: KFloat, F: float64(s) / float64(len(tuples))}
+	case AggMin, AggMax:
+		if len(tuples) == 0 {
+			return Value{K: fieldKind(a.Arg)}
+		}
+		best := fieldVal(tuples[0], a.Arg)
+		for _, t := range tuples[1:] {
+			v := fieldVal(t, a.Arg)
+			if (a.Kind == AggMin && v < best) || (a.Kind == AggMax && v > best) {
+				best = v
+			}
+		}
+		return Value{K: fieldKind(a.Arg), I: best}
+	case AggMedian, AggP50, AggP90, AggP99:
+		if len(tuples) == 0 {
+			return Value{K: fieldKind(a.Arg)}
+		}
+		vals := make([]int64, len(tuples))
+		for i, t := range tuples {
+			vals[i] = fieldVal(t, a.Arg)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		q := 0.50
+		switch a.Kind {
+		case AggP90:
+			q = 0.90
+		case AggP99:
+			q = 0.99
+		}
+		// Nearest-rank percentile: the smallest value with at least
+		// q*n values at or below it.
+		idx := int(q*float64(len(vals))+0.9999999) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(vals) {
+			idx = len(vals) - 1
+		}
+		return Value{K: fieldKind(a.Arg), I: vals[idx]}
+	}
+	return Value{}
+}
+
+// aggEnv is the tuple scope an alert condition evaluates against at one
+// tick: the group's query-window tuples, the full (all-group) retained
+// buffer for private-window aggregates, the tick stamp, and the
+// coverage roster size.
+type aggEnv struct {
+	group     []collect.TraceTuple // this group's tuples in the query window
+	windowAll []collect.TraceTuple // all groups' tuples in the query window
+	all       []collect.TraceTuple // full retained buffer (private windows)
+	tick      hrtime.Stamp
+	expected  int
+
+	// scratch is reused across aggregate calls for private-window
+	// filtering, so a tick evaluation does not allocate per aggregate.
+	scratch []collect.TraceTuple
+}
+
+// evalWhen evaluates an aggregate-context expression. Aggregates with a
+// private window select tuples from the full retained buffer (all
+// groups) within (tick-window, tick]; coverage() always counts across
+// all groups, bounded by the query window unless it carries its own.
+func evalWhen(e Expr, env *aggEnv) Value {
+	switch n := e.(type) {
+	case *Lit:
+		return n.Val
+	case *Agg:
+		tuples := env.group
+		if n.Kind == AggCoverage {
+			tuples = env.windowAll
+		}
+		if n.Window > 0 {
+			env.scratch = env.scratch[:0]
+			lo := env.tick - int64(n.Window)
+			for _, t := range env.all {
+				if t.Start > lo && t.Start <= env.tick {
+					env.scratch = append(env.scratch, t)
+				}
+			}
+			tuples = env.scratch
+		}
+		return computeAgg(n, tuples, env.expected)
+	case *Not:
+		return boolValue(!evalWhen(n.X, env).Bool())
+	case *In:
+		return evalIn(n, evalWhen(n.X, env))
+	case *Binary:
+		return evalBinary(n, evalWhen(n.X, env), evalWhen(n.Y, env))
+	}
+	return Value{}
+}
+
+// Row is one result row of an aggregate select: its group key (ecid; 0
+// when ungrouped), its window bucket (tuple-Start stamp of the bucket's
+// left edge; 0 when unwindowed), and one value per select column.
+type Row struct {
+	Group  uint32
+	Bucket hrtime.Stamp
+	Vals   []Value
+}
+
+// Result is an aggregate select's output table, rows sorted by group
+// then bucket — a pure function of the archive's tuples, so re-running
+// the query renders byte-identically.
+type Result struct {
+	Cols     []string // canonical aggregate spellings
+	Grouped  bool
+	Windowed bool
+	Rows     []Row
+}
+
+// Scan streams the tuples a select-* statement matches, in archive
+// order, honoring the statement's Limit. The statement's predicate is
+// compiled into a conservative archive.Query (see Pushdown) so the scan
+// rides the header-index and columnar block-skip paths; the returned
+// stats report the exact predicate's match count.
+func Scan(r *archive.Reader, s *Stmt, fn func(collect.TraceTuple) bool) (archive.ScanStats, error) {
+	return ScanQuery(r, s, s.Pushdown(), fn)
+}
+
+// ScanQuery is Scan with an explicit pushdown query — the benchmark
+// harness passes a zero archive.Query to measure the full-scan
+// baseline. aq must be conservative for s (Pushdown's contract).
+func ScanQuery(r *archive.Reader, s *Stmt, aq archive.Query, fn func(collect.TraceTuple) bool) (archive.ScanStats, error) {
+	if s.Alert || !s.Star {
+		return archive.ScanStats{}, fmt.Errorf("query: Scan wants a select * statement")
+	}
+	var matched uint64
+	stats, err := r.Scan(aq, func(t collect.TraceTuple) bool {
+		if s.Where != nil && !evalRow(s.Where, t).Bool() {
+			return true
+		}
+		matched++
+		if !fn(t) {
+			return false
+		}
+		return s.Limit == 0 || matched < uint64(s.Limit)
+	})
+	stats.TuplesMatched = matched
+	return stats, err
+}
+
+// Run evaluates an aggregate select statement over an archive: matching
+// tuples are grouped by the statement's By field and Window buckets,
+// and every select column is computed per cell.
+func Run(r *archive.Reader, s *Stmt) (*Result, archive.ScanStats, error) {
+	return RunQuery(r, s, s.Pushdown())
+}
+
+// RunQuery is Run with an explicit pushdown query (see ScanQuery).
+func RunQuery(r *archive.Reader, s *Stmt, aq archive.Query) (*Result, archive.ScanStats, error) {
+	if s.Alert {
+		return nil, archive.ScanStats{}, fmt.Errorf("query: Run wants a select statement (replay alerts with an Engine)")
+	}
+	if s.Star {
+		return nil, archive.ScanStats{}, fmt.Errorf("query: Run wants an aggregate select (stream select * with Scan)")
+	}
+	type cellKey struct {
+		group  uint32
+		bucket hrtime.Stamp
+	}
+	cells := make(map[cellKey][]collect.TraceTuple)
+	var matched uint64
+	stats, err := r.Scan(aq, func(t collect.TraceTuple) bool {
+		if s.Where != nil && !evalRow(s.Where, t).Bool() {
+			return true
+		}
+		matched++
+		key := cellKey{}
+		if s.By == FieldECID {
+			key.group = t.ECID
+		}
+		if s.Window > 0 {
+			key.bucket = t.Start - t.Start%int64(s.Window)
+		}
+		cells[key] = append(cells[key], t)
+		return true
+	})
+	stats.TuplesMatched = matched
+	if err != nil {
+		return nil, stats, err
+	}
+	res := &Result{Grouped: s.By != FieldNone, Windowed: s.Window > 0}
+	for _, c := range s.Cols {
+		res.Cols = append(res.Cols, c.String())
+	}
+	keys := make([]cellKey, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].group != keys[j].group {
+			return keys[i].group < keys[j].group
+		}
+		return keys[i].bucket < keys[j].bucket
+	})
+	for _, k := range keys {
+		row := Row{Group: k.group, Bucket: k.bucket}
+		for _, c := range s.Cols {
+			row.Vals = append(row.Vals, computeAgg(c, cells[k], 0))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, stats, nil
+}

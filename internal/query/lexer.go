@@ -1,0 +1,204 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// tokKind classifies a lexical token.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokDur
+	tokLParen
+	tokRParen
+	tokComma
+	tokStar // '*' doubles as the select-list star and multiplication
+	tokPlus
+	tokMinus
+	tokSlash
+	tokEq // == (or a single = as a convenience)
+	tokNe
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+)
+
+// token is one lexeme with its decoded payload.
+type token struct {
+	kind tokKind
+	pos  int    // byte offset in the source, for error messages
+	text string // identifier spelling
+	i    int64  // tokInt / tokDur value (durations in nanoseconds)
+	f    float64
+}
+
+// lexer splits esql source into tokens. Identifiers and keywords are
+// case-insensitive (lowered on read); numbers followed by a duration
+// unit lex as durations via time.ParseDuration.
+type lexer struct {
+	src  string
+	pos  int
+	tok  token // current token
+	peek *token
+}
+
+// lexError is a syntax error with its byte offset.
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("at offset %d: %s", e.pos, e.msg) }
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// next advances to the next token.
+func (l *lexer) next() error {
+	if l.peek != nil {
+		l.tok, l.peek = *l.peek, nil
+		return nil
+	}
+	t, err := l.scan()
+	if err != nil {
+		return err
+	}
+	l.tok = t
+	return nil
+}
+
+// peekTok returns the token after the current one without consuming it.
+func (l *lexer) peekTok() (token, error) {
+	if l.peek == nil {
+		t, err := l.scan()
+		if err != nil {
+			return token{}, err
+		}
+		l.peek = &t
+	}
+	return *l.peek, nil
+}
+
+// scan reads one token from the source.
+func (l *lexer) scan() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isAlpha(c):
+		for l.pos < len(l.src) && (isAlpha(l.src[l.pos]) || isDigit(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokIdent, pos: start, text: strings.ToLower(l.src[start:l.pos])}, nil
+	case isDigit(c) || c == '.':
+		return l.scanNumber(start)
+	}
+	l.pos++
+	switch c {
+	case '(':
+		return token{kind: tokLParen, pos: start}, nil
+	case ')':
+		return token{kind: tokRParen, pos: start}, nil
+	case ',':
+		return token{kind: tokComma, pos: start}, nil
+	case '*':
+		return token{kind: tokStar, pos: start}, nil
+	case '+':
+		return token{kind: tokPlus, pos: start}, nil
+	case '-':
+		return token{kind: tokMinus, pos: start}, nil
+	case '/':
+		return token{kind: tokSlash, pos: start}, nil
+	case '=':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{kind: tokEq, pos: start}, nil
+	case '!':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokNe, pos: start}, nil
+		}
+		return token{}, &lexError{start, "unexpected '!'"}
+	case '<':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokLe, pos: start}, nil
+		}
+		return token{kind: tokLt, pos: start}, nil
+	case '>':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokGe, pos: start}, nil
+		}
+		return token{kind: tokGt, pos: start}, nil
+	}
+	return token{}, &lexError{start, fmt.Sprintf("unexpected character %q", c)}
+}
+
+// scanNumber reads an integer, float, or duration literal. A number
+// immediately followed by letters is a duration ("500us", "1m", "1.5s",
+// "1m30s"); time.ParseDuration validates the unit spelling.
+func (l *lexer) scanNumber(start int) (token, error) {
+	sawDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !sawDot {
+			sawDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	if l.pos == start || (sawDot && l.pos == start+1) {
+		return token{}, &lexError{start, "malformed number"}
+	}
+	// Letters right after the digits make it a duration literal, which
+	// may itself chain more digit/letter groups (1m30s). Bytes outside
+	// ASCII count as unit letters so the canonical "µs" spelling
+	// time.Duration.String produces re-parses.
+	if l.pos < len(l.src) && isUnit(l.src[l.pos]) {
+		for l.pos < len(l.src) && (isUnit(l.src[l.pos]) || isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		d, err := time.ParseDuration(l.src[start:l.pos])
+		if err != nil {
+			return token{}, &lexError{start, fmt.Sprintf("malformed duration %q", l.src[start:l.pos])}
+		}
+		return token{kind: tokDur, pos: start, i: int64(d)}, nil
+	}
+	text := l.src[start:l.pos]
+	if sawDot {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, &lexError{start, fmt.Sprintf("malformed number %q", text)}
+		}
+		return token{kind: tokFloat, pos: start, f: f}, nil
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return token{}, &lexError{start, fmt.Sprintf("malformed integer %q", text)}
+	}
+	return token{kind: tokInt, pos: start, i: i}, nil
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isAlpha(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isUnit(c byte) bool  { return isAlpha(c) || c >= 0x80 }

@@ -1,0 +1,515 @@
+package query
+
+import (
+	"fmt"
+	"time"
+)
+
+// Parse lexes, parses and type-checks one esql statement. The returned
+// statement is canonicalized: defaults are applied (alert Window/Every,
+// For), and Stmt.String() renders a form that re-parses to an equal
+// statement.
+func Parse(src string) (*Stmt, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.lex.next(); err != nil {
+		return nil, fmt.Errorf("esql: %v", err)
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, fmt.Errorf("esql: %v", err)
+	}
+	if err := checkStmt(s); err != nil {
+		return nil, fmt.Errorf("esql: %v", err)
+	}
+	return s, nil
+}
+
+// parser is the recursive-descent esql parser.
+type parser struct {
+	lex *lexer
+}
+
+// errf builds a positioned parse error.
+func (p *parser) errf(format string, args ...any) error {
+	return &lexError{p.lex.tok.pos, fmt.Sprintf(format, args...)}
+}
+
+// advance consumes the current token.
+func (p *parser) advance() error { return p.lex.next() }
+
+// isKeyword reports whether the current token is the given keyword.
+func (p *parser) isKeyword(kw string) bool {
+	return p.lex.tok.kind == tokIdent && p.lex.tok.text == kw
+}
+
+// expectKeyword consumes the given keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return p.errf("expected %q", kw)
+	}
+	return p.advance()
+}
+
+// parseStmt parses a full statement and requires EOF after it.
+func (p *parser) parseStmt() (*Stmt, error) {
+	s := &Stmt{}
+	switch {
+	case p.isKeyword("select"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.parseSelectList(s); err != nil {
+			return nil, err
+		}
+		if p.isKeyword("where") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Where = e
+		}
+	case p.isKeyword("alert"):
+		s.Alert = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("when"); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.When = e
+	default:
+		return nil, p.errf("expected \"select\" or \"alert\"")
+	}
+	if err := p.parseClauses(s); err != nil {
+		return nil, err
+	}
+	if p.lex.tok.kind != tokEOF {
+		return nil, p.errf("unexpected trailing input")
+	}
+	return s, nil
+}
+
+// parseSelectList parses `*` or a comma-separated list of aggregate
+// calls.
+func (p *parser) parseSelectList(s *Stmt) error {
+	if p.lex.tok.kind == tokStar {
+		s.Star = true
+		return p.advance()
+	}
+	for {
+		if p.lex.tok.kind != tokIdent {
+			return p.errf("expected an aggregate call in the select list")
+		}
+		kind, ok := aggByName(p.lex.tok.text)
+		if !ok {
+			return p.errf("unknown aggregate %q", p.lex.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		agg, err := p.parseAggCall(kind)
+		if err != nil {
+			return err
+		}
+		s.Cols = append(s.Cols, agg)
+		if p.lex.tok.kind != tokComma {
+			return nil
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+}
+
+// parseClauses parses the trailing clause list in any order: by,
+// window, every, for ... rounds, limit. Duplicates are rejected.
+func (p *parser) parseClauses(s *Stmt) error {
+	seen := map[string]bool{}
+	for p.lex.tok.kind == tokIdent {
+		kw := p.lex.tok.text
+		switch kw {
+		case "by", "window", "every", "for", "limit":
+			if seen[kw] {
+				return p.errf("duplicate %q clause", kw)
+			}
+			seen[kw] = true
+		default:
+			return p.errf("unexpected %q", kw)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		switch kw {
+		case "by":
+			if p.lex.tok.kind != tokIdent {
+				return p.errf("expected a field after \"by\"")
+			}
+			f, ok := fieldByName(p.lex.tok.text)
+			if !ok {
+				return p.errf("unknown field %q", p.lex.tok.text)
+			}
+			s.By = f
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case "window", "every":
+			if p.lex.tok.kind != tokDur {
+				return p.errf("expected a duration after %q", kw)
+			}
+			if p.lex.tok.i <= 0 {
+				return p.errf("%q duration must be positive", kw)
+			}
+			if kw == "window" {
+				s.Window = time.Duration(p.lex.tok.i)
+			} else {
+				s.Every = time.Duration(p.lex.tok.i)
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case "for":
+			if p.lex.tok.kind != tokInt || p.lex.tok.i <= 0 {
+				return p.errf("expected a positive round count after \"for\"")
+			}
+			s.For = int(p.lex.tok.i)
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expectKeyword("rounds"); err != nil {
+				return err
+			}
+		case "limit":
+			if p.lex.tok.kind != tokInt || p.lex.tok.i <= 0 {
+				return p.errf("expected a positive count after \"limit\"")
+			}
+			s.Limit = int(p.lex.tok.i)
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// parseExpr parses a boolean expression (lowest precedence: or).
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		y, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: OpOr, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	x, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		y, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: OpAnd, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.isKeyword("not") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+// parseCmp parses an additive expression optionally followed by one
+// comparison or set-membership operator.
+func (p *parser) parseCmp() (Expr, error) {
+	x, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	var op BinOp
+	switch p.lex.tok.kind {
+	case tokEq:
+		op = OpEq
+	case tokNe:
+		op = OpNe
+	case tokLt:
+		op = OpLt
+	case tokLe:
+		op = OpLe
+	case tokGt:
+		op = OpGt
+	case tokGe:
+		op = OpGe
+	case tokIdent:
+		neg := false
+		if p.lex.tok.text == "not" {
+			// `x not in (...)`: peek past the not for the in.
+			nxt, err := p.lex.peekTok()
+			if err != nil {
+				return nil, err
+			}
+			if nxt.kind != tokIdent || nxt.text != "in" {
+				return x, nil
+			}
+			neg = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if p.lex.tok.text != "in" {
+			return x, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		list, err := p.parseLitList()
+		if err != nil {
+			return nil, err
+		}
+		return &In{X: x, Neg: neg, List: list}, nil
+	default:
+		return x, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	y, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	return &Binary{Op: op, X: x, Y: y}, nil
+}
+
+func (p *parser) parseSum() (Expr, error) {
+	x, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.lex.tok.kind == tokPlus || p.lex.tok.kind == tokMinus {
+		op := OpAdd
+		if p.lex.tok.kind == tokMinus {
+			op = OpSub
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		y, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: op, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	x, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.lex.tok.kind == tokStar || p.lex.tok.kind == tokSlash {
+		op := OpMul
+		if p.lex.tok.kind == tokSlash {
+			op = OpDiv
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		y, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: op, X: x, Y: y}
+	}
+	return x, nil
+}
+
+// parseFactor parses a literal, field reference, aggregate call,
+// negated factor, or parenthesized expression.
+func (p *parser) parseFactor() (Expr, error) {
+	tok := p.lex.tok
+	switch tok.kind {
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.lex.tok.kind != tokRParen {
+			return nil, p.errf("expected ')'")
+		}
+		return e, p.advance()
+	case tokMinus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		lit, ok := x.(*Lit)
+		if !ok || !lit.Val.numeric() {
+			return nil, p.errf("'-' must precede a numeric literal")
+		}
+		lit.Val.I = -lit.Val.I
+		lit.Val.F = -lit.Val.F
+		return lit, nil
+	case tokInt:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Lit{Val: Value{K: KInt, I: tok.i}}, nil
+	case tokFloat:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Lit{Val: Value{K: KFloat, F: tok.f}}, nil
+	case tokDur:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Lit{Val: Value{K: KDur, I: tok.i}}, nil
+	case tokIdent:
+		// Aggregate call, field reference, or op-kind literal.
+		if kind, ok := aggByName(tok.text); ok {
+			nxt, err := p.lex.peekTok()
+			if err != nil {
+				return nil, err
+			}
+			if nxt.kind == tokLParen {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				return p.parseAggCall(kind)
+			}
+		}
+		if f, ok := fieldByName(tok.text); ok {
+			return &FieldRef{F: f}, p.advance()
+		}
+		if op, ok := opLiteral(tok.text); ok {
+			return &Lit{Val: Value{K: KOp, I: int64(op)}}, p.advance()
+		}
+		return nil, p.errf("unknown identifier %q", tok.text)
+	}
+	return nil, p.errf("expected an expression")
+}
+
+// parseAggCall parses `(...)` after an aggregate name: an optional
+// field argument and an optional private-window duration.
+func (p *parser) parseAggCall(kind AggKind) (*Agg, error) {
+	if p.lex.tok.kind != tokLParen {
+		return nil, p.errf("expected '(' after %q", kind.String())
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	agg := &Agg{Kind: kind}
+	if p.lex.tok.kind == tokIdent {
+		f, ok := fieldByName(p.lex.tok.text)
+		if !ok {
+			return nil, p.errf("unknown field %q", p.lex.tok.text)
+		}
+		agg.Arg = f
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.lex.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.lex.tok.kind == tokDur {
+		if p.lex.tok.i <= 0 {
+			return nil, p.errf("aggregate window must be positive")
+		}
+		agg.Window = time.Duration(p.lex.tok.i)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.lex.tok.kind != tokRParen {
+		return nil, p.errf("expected ')' in %s(...)", kind.String())
+	}
+	return agg, p.advance()
+}
+
+// parseLitList parses `( lit, lit, ... )` for set membership.
+func (p *parser) parseLitList() ([]Value, error) {
+	if p.lex.tok.kind != tokLParen {
+		return nil, p.errf("expected '(' after \"in\"")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var out []Value
+	for {
+		tok := p.lex.tok
+		var v Value
+		switch tok.kind {
+		case tokInt:
+			v = Value{K: KInt, I: tok.i}
+		case tokFloat:
+			v = Value{K: KFloat, F: tok.f}
+		case tokDur:
+			v = Value{K: KDur, I: tok.i}
+		case tokIdent:
+			op, ok := opLiteral(tok.text)
+			if !ok {
+				return nil, p.errf("unknown value %q in set", tok.text)
+			}
+			v = Value{K: KOp, I: int64(op)}
+		default:
+			return nil, p.errf("expected a literal in set")
+		}
+		out = append(out, v)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.lex.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if p.lex.tok.kind != tokRParen {
+		return nil, p.errf("expected ')' closing set")
+	}
+	return out, p.advance()
+}

@@ -1,0 +1,325 @@
+package query
+
+import (
+	"sort"
+
+	"eventspace/internal/archive"
+	"eventspace/internal/paths"
+)
+
+// Pushdown compiles the statement's predicate into a conservative
+// archive.Query: every tuple the statement can match also matches the
+// returned query, so the archive may use it to skip segments (header
+// index) and columnar blocks (dictionaries) without losing rows. The
+// extraction is honest about its limits — anything it cannot prove
+// becomes "unconstrained", never "excluded":
+//
+//   - ecid ==/in and op ==/in literals constrain ECIDs / Ops;
+//   - start comparisons against literals constrain the stamp range,
+//     and end <= Y implies start <= Y (an operation starts before it
+//     ends), so it bounds MaxStamp too;
+//   - "and" intersects both sides' constraints; "or" takes the convex
+//     hull (a union of sets, the looser of each bound);
+//   - "not", latency, ret, seq, arithmetic over fields, and anything
+//     else drop to unconstrained.
+//
+// The evaluator always re-applies the exact predicate, so a loose
+// pushdown costs only scan time, never correctness. Alert statements
+// push nothing down: the engine needs the whole stream.
+func (s *Stmt) Pushdown() archive.Query {
+	if s.Alert || s.Where == nil {
+		return archive.Query{}
+	}
+	return extract(s.Where).query()
+}
+
+// constraint is the lattice the extractor works in. A "has" flag false
+// means that dimension is unconstrained (the universe); true with an
+// empty set means provably no match — still sound, though query()
+// degrades it to unconstrained because archive.Query cannot express an
+// empty filter. Bounds are inclusive on Start; min 0 and max <= 0 mean
+// unbounded (stamps are non-negative).
+type constraint struct {
+	hasECIDs bool
+	ecids    []uint32
+	hasOps   bool
+	ops      []paths.OpKind
+	min, max int64
+}
+
+// universe is the unconstrained element.
+func universe() constraint { return constraint{} }
+
+// extract walks a row predicate bottom-up.
+func extract(e Expr) constraint {
+	switch n := e.(type) {
+	case *Binary:
+		switch n.Op {
+		case OpAnd:
+			return extract(n.X).and(extract(n.Y))
+		case OpOr:
+			return extract(n.X).or(extract(n.Y))
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			return extractCmp(n)
+		}
+	case *In:
+		if n.Neg {
+			return universe()
+		}
+		f, ok := n.X.(*FieldRef)
+		if !ok {
+			return universe()
+		}
+		switch f.F {
+		case FieldECID:
+			c := constraint{hasECIDs: true}
+			for _, v := range n.List {
+				id, ok := asECID(v)
+				if !ok {
+					return universe()
+				}
+				c.ecids = append(c.ecids, id)
+			}
+			return c
+		case FieldOp:
+			c := constraint{hasOps: true}
+			for _, v := range n.List {
+				c.ops = append(c.ops, paths.OpKind(v.I))
+			}
+			return c
+		}
+	}
+	return universe()
+}
+
+// extractCmp handles one comparison leaf. The field may sit on either
+// side; a flipped operand order flips the operator.
+func extractCmp(n *Binary) constraint {
+	f, lit := leafOperands(n.X, n.Y)
+	op := n.Op
+	if f == nil {
+		if f, lit = leafOperands(n.Y, n.X); f == nil {
+			return universe()
+		}
+		op = flipCmp(op)
+	}
+	if op == OpNe {
+		return universe()
+	}
+	v := lit.Val
+	switch f.F {
+	case FieldECID:
+		if op != OpEq {
+			return universe()
+		}
+		id, ok := asECID(v)
+		if !ok {
+			return universe()
+		}
+		return constraint{hasECIDs: true, ecids: []uint32{id}}
+	case FieldOp:
+		if op != OpEq {
+			return universe()
+		}
+		return constraint{hasOps: true, ops: []paths.OpKind{paths.OpKind(v.I)}}
+	case FieldStart:
+		if v.K == KFloat {
+			return universe()
+		}
+		switch op {
+		case OpEq:
+			return constraint{min: v.I, max: v.I}
+		case OpGe:
+			return constraint{min: v.I}
+		case OpGt:
+			return constraint{min: v.I + 1}
+		case OpLe:
+			return constraint{max: v.I}
+		case OpLt:
+			return constraint{max: v.I - 1}
+		}
+	case FieldEnd:
+		if v.K == KFloat {
+			return universe()
+		}
+		// End >= Start, so an upper bound on End bounds Start too. A
+		// lower bound on End says nothing about Start.
+		switch op {
+		case OpEq, OpLe:
+			return constraint{max: v.I}
+		case OpLt:
+			return constraint{max: v.I - 1}
+		}
+	}
+	return universe()
+}
+
+// leafOperands matches a (field, literal) comparison shape.
+func leafOperands(x, y Expr) (*FieldRef, *Lit) {
+	f, ok := x.(*FieldRef)
+	if !ok {
+		return nil, nil
+	}
+	l, ok := y.(*Lit)
+	if !ok {
+		return nil, nil
+	}
+	return f, l
+}
+
+// flipCmp mirrors a comparison across its operands (10 < start becomes
+// start > 10).
+func flipCmp(op BinOp) BinOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	}
+	return op
+}
+
+// asECID converts an integer literal into a collector id if it fits.
+func asECID(v Value) (uint32, bool) {
+	if v.K != KInt || v.I < 0 || v.I > int64(^uint32(0)) {
+		return 0, false
+	}
+	return uint32(v.I), true
+}
+
+// and intersects two constraints: both must hold.
+func (c constraint) and(d constraint) constraint {
+	out := constraint{}
+	out.hasECIDs, out.ecids = intersectU32(c.hasECIDs, c.ecids, d.hasECIDs, d.ecids)
+	out.hasOps, out.ops = intersectOps(c.hasOps, c.ops, d.hasOps, d.ops)
+	out.min = c.min
+	if d.min > out.min {
+		out.min = d.min
+	}
+	switch {
+	case c.max <= 0:
+		out.max = d.max
+	case d.max <= 0:
+		out.max = c.max
+	case d.max < c.max:
+		out.max = d.max
+	default:
+		out.max = c.max
+	}
+	return out
+}
+
+// or hulls two constraints: either may hold, so each dimension widens
+// to cover both sides.
+func (c constraint) or(d constraint) constraint {
+	out := constraint{}
+	if c.hasECIDs && d.hasECIDs {
+		out.hasECIDs = true
+		out.ecids = append(append([]uint32(nil), c.ecids...), d.ecids...)
+	}
+	if c.hasOps && d.hasOps {
+		out.hasOps = true
+		out.ops = append(append([]paths.OpKind(nil), c.ops...), d.ops...)
+	}
+	out.min = c.min
+	if d.min < out.min {
+		out.min = d.min
+	}
+	if c.max > 0 && d.max > 0 {
+		out.max = c.max
+		if d.max > out.max {
+			out.max = d.max
+		}
+	}
+	return out
+}
+
+func intersectU32(hasA bool, a []uint32, hasB bool, b []uint32) (bool, []uint32) {
+	if !hasA {
+		return hasB, append([]uint32(nil), b...)
+	}
+	if !hasB {
+		return true, append([]uint32(nil), a...)
+	}
+	set := make(map[uint32]struct{}, len(b))
+	for _, v := range b {
+		set[v] = struct{}{}
+	}
+	var out []uint32
+	for _, v := range a {
+		if _, ok := set[v]; ok {
+			out = append(out, v)
+		}
+	}
+	return true, out
+}
+
+func intersectOps(hasA bool, a []paths.OpKind, hasB bool, b []paths.OpKind) (bool, []paths.OpKind) {
+	if !hasA {
+		return hasB, append([]paths.OpKind(nil), b...)
+	}
+	if !hasB {
+		return true, append([]paths.OpKind(nil), a...)
+	}
+	set := make(map[paths.OpKind]struct{}, len(b))
+	for _, v := range b {
+		set[v] = struct{}{}
+	}
+	var out []paths.OpKind
+	for _, v := range a {
+		if _, ok := set[v]; ok {
+			out = append(out, v)
+		}
+	}
+	return true, out
+}
+
+// query lowers the constraint into the archive's filter shape. An empty
+// constrained set cannot be expressed (archive.Query reads empty as
+// "all"), so it relaxes to unconstrained — still a superset.
+func (c constraint) query() archive.Query {
+	q := archive.Query{}
+	if c.min > 0 {
+		q.MinStamp = c.min
+	}
+	if c.max > 0 {
+		q.MaxStamp = c.max
+	}
+	if c.hasECIDs && len(c.ecids) > 0 {
+		q.ECIDs = dedupU32(c.ecids)
+	}
+	if c.hasOps && len(c.ops) > 0 {
+		q.Ops = dedupOps(c.ops)
+	}
+	return q
+}
+
+func dedupU32(in []uint32) []uint32 {
+	out := append([]uint32(nil), in...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	n := 0
+	for i, v := range out {
+		if i == 0 || v != out[n-1] {
+			out[n] = v
+			n++
+		}
+	}
+	return out[:n]
+}
+
+func dedupOps(in []paths.OpKind) []paths.OpKind {
+	out := append([]paths.OpKind(nil), in...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	n := 0
+	for i, v := range out {
+		if i == 0 || v != out[n-1] {
+			out[n] = v
+			n++
+		}
+	}
+	return out[:n]
+}

@@ -16,6 +16,7 @@ import (
 
 	"eventspace/internal/analysis"
 	"eventspace/internal/cluster"
+	"eventspace/internal/collect"
 	"eventspace/internal/escope"
 	"eventspace/internal/monitor"
 )
@@ -188,6 +189,37 @@ func Modes(w io.Writer, label string, changes []escope.ModeChange) error {
 	for _, ch := range changes {
 		if _, err := fmt.Fprintf(w, "  #%-3d %12v  %s -> %s\n",
 			ch.Seq, time.Duration(ch.At), ch.From, ch.To); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Alerts renders a continuous-query alert stream: one line per fired
+// alert, stamped in modelled time. queries maps a statement's hash
+// (query.Stmt.Hash) to its canonical esql source for labelling;
+// unmapped hashes render as hex. Live (Engine.Alerts) and
+// archive-replayed (archive.ReplayAlerts, query.Replay) streams render
+// byte-identically when the run was recorded faithfully.
+func Alerts(w io.Writer, label string, alerts []collect.AlertTuple, queries map[uint64]string) error {
+	if _, err := fmt.Fprintf(w, "== alerts: %s ==\n", label); err != nil {
+		return err
+	}
+	if len(alerts) == 0 {
+		_, err := fmt.Fprintln(w, "  (no alerts fired)")
+		return err
+	}
+	for _, a := range alerts {
+		q, ok := queries[a.QueryHash]
+		if !ok {
+			q = fmt.Sprintf("query %016x", a.QueryHash)
+		}
+		group := "all"
+		if a.Group != 0 {
+			group = fmt.Sprintf("ec %d", a.Group)
+		}
+		if _, err := fmt.Fprintf(w, "  #%-3d %12v  %-6s  %s\n",
+			a.Seq, time.Duration(a.At), group, q); err != nil {
 			return err
 		}
 	}
