@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-archive bench-staleness bench-query lint vet eslint lint-fix-check ci
+.PHONY: build test test-short bench bench-archive bench-staleness bench-query bench-recovery lint vet eslint lint-fix-check ci
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,16 @@ bench-staleness:
 	$(GO) test -race -run TestStragglerStormBoundedStaleness ./internal/escope/
 	STALENESS_BENCH_OUT=$(CURDIR)/BENCH_staleness.json \
 		$(GO) test -race -run TestRecordStalenessBench ./internal/bench/
+
+# bench-recovery runs the checkpoint and failover suites under the race
+# detector, then records recovery time and bytes replayed — checkpointed
+# fast path versus full replay, both segment formats, three archive
+# sizes — in BENCH_recovery.json. The run fails unless the fast path
+# replays at least 5x fewer bytes at the largest archive size.
+bench-recovery:
+	$(GO) test -race ./internal/checkpoint/ ./internal/reconfig/
+	RECOVERY_BENCH_OUT=$(CURDIR)/BENCH_recovery.json \
+		$(GO) test -race -run TestRecordRecoveryBench ./internal/bench/
 
 vet:
 	$(GO) vet ./...

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"eventspace/internal/archive"
+	"eventspace/internal/checkpoint"
 	"eventspace/internal/collect"
 	"eventspace/internal/query"
 	"eventspace/internal/viz"
@@ -266,7 +267,42 @@ func runInfo(args []string) error {
 				in.ID, in.Role, in.Node, in.Contributor, in.Name)
 		}
 	}
+	printCheckpoints(r)
 	return nil
+}
+
+// printCheckpoints renders the archive's checkpoint chain, if any: each
+// sidecar frame, which one recovery would restore from, and how much of
+// the archive a recovery would actually replay (the suffix behind the
+// newest valid checkpoint's cursor — the chain's whole point).
+func printCheckpoints(r *archive.Reader) {
+	entries, err := checkpoint.List(r.Dir())
+	if err != nil || len(entries) == 0 {
+		return
+	}
+	cp, info, ok := checkpoint.LoadNewest(r.Dir())
+	bad := make(map[string]bool, len(info.Bad))
+	for _, p := range info.Bad {
+		bad[p] = true
+	}
+	if !ok {
+		fmt.Printf("checkpoints (%d): none valid — recovery falls back to full replay\n", len(entries))
+	} else {
+		line := fmt.Sprintf("checkpoints (%d): newest seq %d at stamp %d, cursor %d tuples", len(entries), cp.Seq, cp.At, cp.Cursor.Tuples)
+		if suffix, err := r.ScanFrom(cp.Cursor, archive.Query{}, func(collect.TraceTuple) bool { return true }); err == nil {
+			line += fmt.Sprintf(", replay suffix %d tuples / %d B", r.Tuples()-suffix.TuplesSkipped, suffix.BytesScanned)
+		} else {
+			line += fmt.Sprintf(", replay suffix unreadable (%v)", err)
+		}
+		fmt.Println(line)
+	}
+	for _, e := range entries {
+		state := "ok"
+		if bad[e.Path] {
+			state = "torn"
+		}
+		fmt.Printf("  ckpt %4d  %-4s %8d B\n", e.Seq, state, e.Size)
+	}
 }
 
 // printTuple renders one tuple in the filter/select-* line format.

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"eventspace/internal/archive"
+	"eventspace/internal/checkpoint"
 	"eventspace/internal/cluster"
 	"eventspace/internal/collect"
 	"eventspace/internal/core"
@@ -268,6 +269,76 @@ const (
 	// dictionaries cannot match it.
 	ArchiveFormatColumnar = archive.FormatColumnar
 )
+
+// Checkpointed crash recovery (see DESIGN.md "Checkpointed crash
+// recovery"): a recorder attached with System.AttachArchiveCheckpointed
+// periodically snapshots the front-end state its archive implies into a
+// sidecar chain of ckpt-*.eckpt files. After a crash,
+// System.RecoverLoadBalance restores from the newest valid checkpoint
+// and replays only the archive suffix behind it — falling back rung by
+// rung to full replay when the chain is damaged — and
+// System.ResumeArchiveFrom continues recording (and alerting,
+// mid-streak) from the recovered state.
+type (
+	// ArchiveCursor is a durable position in an archive's tuple stream
+	// (ArchiveWriter.Position); checkpoints anchor their replay suffix
+	// to one.
+	ArchiveCursor = archive.Cursor
+	// CheckpointConfig tunes a recorder's checkpointer (cadence in
+	// tuples, chain length, metrics).
+	CheckpointConfig = checkpoint.Config
+	// Checkpointer rides a recorder's sink chain, snapshotting monitor
+	// and query-engine state on cadence (ArchiveRecorder.Checkpointer).
+	Checkpointer = checkpoint.Checkpointer
+	// Checkpoint is one decoded snapshot frame.
+	Checkpoint = checkpoint.Checkpoint
+	// CheckpointChainInfo describes a directory's checkpoint chain walk
+	// (entries found, invalid frames skipped).
+	CheckpointChainInfo = checkpoint.ChainInfo
+	// CrashPoints is a seeded crash-injection plan for an archive
+	// writer and its checkpointer (ArchiveOptions.CrashPoints) —
+	// test-only, for proving recovery invariants.
+	CrashPoints = archive.CrashPoints
+	// CrashSpec arms one injection site within a plan.
+	CrashSpec = archive.CrashSpec
+	// CrashSite names an injection site.
+	CrashSite = archive.CrashSite
+)
+
+// Crash-injection sites (CrashSpec.Site).
+const (
+	CrashBlockFlush = archive.CrashBlockFlush
+	CrashSeal       = archive.CrashSeal
+	CrashRotate     = archive.CrashRotate
+	CrashCheckpoint = archive.CrashCheckpoint
+)
+
+// ErrInjectedCrash is the sticky error a writer or checkpointer reports
+// after its armed crash point fired.
+var ErrInjectedCrash = archive.ErrInjectedCrash
+
+// LoadNewestCheckpoint walks dir's checkpoint chain newest-first and
+// returns the first frame that validates, with the walk's accounting.
+// ok is false when no valid checkpoint exists.
+func LoadNewestCheckpoint(dir string) (Checkpoint, CheckpointChainInfo, bool) {
+	return checkpoint.LoadNewest(dir)
+}
+
+// RecoverFrontEnd rebuilds a crashed front end's state through the
+// checkpoint recovery ladder without building a replacement monitor —
+// the offline counterpart of System.RecoverLoadBalance. alerts are the
+// crashed recorder's standing esql alert statements (none is fine).
+func RecoverFrontEnd(dir string, reg *MetricsRegistry, alerts ...string) (*FailoverState, error) {
+	stmts := make([]*query.Stmt, 0, len(alerts))
+	for _, src := range alerts {
+		st, err := query.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, st)
+	}
+	return reconfig.RecoverFrontEnd(dir, reg, stmts)
+}
 
 // NewArchiveWriter opens (or crash-safely reopens) an archive directory
 // for appending.

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"eventspace/internal/collect"
+	"eventspace/internal/paths"
+)
+
+// TestStreamSplitEquivalence is the snapshot contract: splitting a
+// sample sequence at any point — feed, snapshot, restore, feed the
+// rest — yields exactly the statistics of a straight-through stream.
+func TestStreamSplitEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = rng.Float64() * 1000
+	}
+	for _, split := range []int{0, 1, 50, 99, 100, 101, 250, 499, 500} {
+		full := NewStream(100)
+		head := NewStream(100)
+		for i, x := range samples {
+			full.Add(x)
+			if i < split {
+				head.Add(x)
+			}
+		}
+		tail, err := NewStreamFrom(head.State())
+		if err != nil {
+			t.Fatalf("split %d: %v", split, err)
+		}
+		for _, x := range samples[split:] {
+			tail.Add(x)
+		}
+		if got, want := tail.Snapshot(), full.Snapshot(); got != want {
+			t.Fatalf("split %d: restored stream %+v, straight-through %+v", split, got, want)
+		}
+	}
+}
+
+func TestStreamStateRejectsCorrupt(t *testing.T) {
+	s := NewStream(4)
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i))
+	}
+	st := s.State()
+	st.Ring = append(st.Ring, 1, 2, 3) // exceeds window
+	if _, err := NewStreamFrom(st); err == nil {
+		t.Fatal("oversized ring accepted")
+	}
+	st2 := s.State()
+	st2.N = 1 // fewer samples than ring entries
+	if _, err := NewStreamFrom(st2); err == nil {
+		t.Fatal("ring longer than sample count accepted")
+	}
+}
+
+// joinTuple fabricates round tuples: contributor c of round seq.
+func joinTuple(ecid uint32, seq uint32, start, end int64) collect.TraceTuple {
+	return collect.TraceTuple{ECID: ecid, Op: paths.OpWrite, Seq: seq, Start: start, End: end}
+}
+
+// TestJoinerSplitEquivalence verifies a snapshotted/restored joiner
+// completes the same rounds with the same metrics as one that saw the
+// whole stream, including rounds that straddle the snapshot.
+func TestJoinerSplitEquivalence(t *testing.T) {
+	const k = 3
+	type event struct {
+		contributor int // -1 = collective
+		t           collect.TraceTuple
+	}
+	rng := rand.New(rand.NewSource(2))
+	var events []event
+	for seq := uint32(0); seq < 60; seq++ {
+		base := int64(1000 + 100*int64(seq))
+		events = append(events, event{-1, joinTuple(99, seq, base+10, base+20)})
+		for c := 0; c < k; c++ {
+			events = append(events, event{c, joinTuple(uint32(c), seq, base + int64(c), base + 30 + int64(c))})
+		}
+	}
+	// Shuffle within a small horizon so rounds interleave and some are
+	// pending at every split point.
+	rng.Shuffle(len(events), func(i, j int) {
+		if d := i - j; d < 12 && d > -12 {
+			events[i], events[j] = events[j], events[i]
+		}
+	})
+
+	run := func(j *Joiner, evs []event) {
+		for _, ev := range evs {
+			if ev.contributor < 0 {
+				j.AddCollective(ev.t)
+			} else {
+				j.AddContributor(ev.contributor, ev.t)
+			}
+		}
+	}
+	for _, split := range []int{0, 7, 33, 120, len(events)} {
+		var fullOut, splitOut []RoundMetrics
+		full, err := NewJoiner(k, 64, func(m RoundMetrics) { fullOut = append(fullOut, m) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(full, events)
+
+		head, err := NewJoiner(k, 64, func(m RoundMetrics) { splitOut = append(splitOut, m) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(head, events[:split])
+		tail, err := NewJoinerFrom(head.State(), func(m RoundMetrics) { splitOut = append(splitOut, m) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(tail, events[split:])
+
+		if len(splitOut) != len(fullOut) {
+			t.Fatalf("split %d: %d rounds completed, want %d", split, len(splitOut), len(fullOut))
+		}
+		for i := range fullOut {
+			if splitOut[i].Seq != fullOut[i].Seq || splitOut[i].LastArrival != fullOut[i].LastArrival {
+				t.Fatalf("split %d: round %d = %+v, want %+v", split, i, splitOut[i], fullOut[i])
+			}
+		}
+		if tail.Lost() != full.Lost() {
+			t.Fatalf("split %d: lost %d, want %d", split, tail.Lost(), full.Lost())
+		}
+		if tail.Pending() != full.Pending() {
+			t.Fatalf("split %d: pending %d, want %d", split, tail.Pending(), full.Pending())
+		}
+	}
+}
+
+func TestJoinerStateRejectsMismatchedK(t *testing.T) {
+	j, err := NewJoiner(3, 64, func(RoundMetrics) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := j.State()
+	st.K = 4
+	if err := j.Restore(st); err == nil {
+		t.Fatal("k mismatch accepted")
+	}
+}

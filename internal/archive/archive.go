@@ -87,6 +87,12 @@ type Options struct {
 	// and rotation/retention/truncation events in the self-metrics
 	// registry. nil disables.
 	Metrics *metrics.Registry
+	// CrashPoints, when set, arms deterministic crash injection: the
+	// writer (and any checkpointer sharing the options) tears the
+	// in-flight write at the armed sites and goes sticky-dead with
+	// ErrInjectedCrash, leaving exactly the on-disk state a power cut at
+	// that instant would. Test-only; nil (the default) disables.
+	CrashPoints *CrashPoints
 }
 
 // Format constants.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"eventspace/internal/collect"
@@ -65,13 +66,14 @@ func (q *Query) match(t collect.TraceTuple) bool {
 
 // SegmentInfo describes one archived segment for tooling.
 type SegmentInfo struct {
-	ID     uint32
-	Path   string
-	Bytes  int64
-	Format uint16 // block codec: FormatRow or FormatColumnar
-	Sealed bool
-	Torn   bool // the segment carries a damaged tail (ignored by reads)
-	Index  SegmentIndex
+	ID        uint32
+	Path      string
+	Bytes     int64
+	Format    uint16 // block codec: FormatRow or FormatColumnar
+	Sealed    bool
+	Torn      bool  // the segment carries a damaged tail (ignored by reads)
+	TornBytes int64 // bytes in the damaged tail beyond the last intact block
+	Index     SegmentIndex
 }
 
 // ScanStats reports what one query actually touched — the pushdown
@@ -81,9 +83,12 @@ type ScanStats struct {
 	SegmentsSkipped int    // skipped wholesale via the header index
 	SegmentsScanned int    // segments whose blocks were read
 	BlocksScanned   uint64 // blocks decoded
-	BlocksSkipped   uint64 // columnar blocks skipped via their dictionaries
+	BlocksSkipped   uint64 // blocks skipped undecoded (dictionary or cursor skips)
 	TuplesScanned   uint64 // tuples decoded
 	TuplesMatched   uint64 // tuples that passed the filters
+	TuplesSkipped   uint64 // tuples jumped over without decoding (cursor scans)
+	BytesScanned    uint64 // segment bytes read off disk
+	BytesSkipped    uint64 // segment bytes never read (index or cursor skips)
 	TornSegments    int    // scanned segments with a damaged tail
 }
 
@@ -93,6 +98,11 @@ type ScanStats struct {
 type Reader struct {
 	dir  string
 	segs []SegmentInfo
+
+	// skipped lists files tolerated-but-ignored at open time (a crash's
+	// header-less newest segment). Close surfaces them so recovery paths
+	// can report the damage they silently worked around.
+	skipped []string
 
 	opScan *metrics.Op
 }
@@ -121,7 +131,9 @@ func OpenReaderMetrics(dir string, reg *metrics.Registry) (*Reader, error) {
 			return nil, fmt.Errorf("archive: %v", err)
 		}
 		if len(buf) < segmentHeaderSize {
-			// A crash can leave a header-less newest file; skip it.
+			// A crash can leave a header-less newest file; skip it, but
+			// remember the damage for Close.
+			r.skipped = append(r.skipped, s.path)
 			continue
 		}
 		hdr, err := decodeHeader(buf)
@@ -137,6 +149,9 @@ func OpenReaderMetrics(dir string, reg *metrics.Registry) (*Reader, error) {
 			}
 			info.Index = res.Index
 			info.Torn = res.Torn
+			if res.Torn {
+				info.TornBytes = s.size - res.ValidBytes
+			}
 		}
 		r.segs = append(r.segs, info)
 	}
@@ -146,6 +161,24 @@ func OpenReaderMetrics(dir string, reg *metrics.Registry) (*Reader, error) {
 
 // Dir returns the archive directory.
 func (r *Reader) Dir() string { return r.dir }
+
+// Close reports the damage the reader tolerated silently while opening:
+// header-less segment files a crash left behind, which open skips so
+// queries still run. nil means the directory opened clean. A Reader
+// holds no file handles between scans, so Close releases nothing; it
+// exists to surface repair context that recovery paths must not drop.
+func (r *Reader) Close() error {
+	if len(r.skipped) == 0 {
+		return nil
+	}
+	return fmt.Errorf("archive: skipped %d header-less segment file(s): %s",
+		len(r.skipped), strings.Join(r.skipped, ", "))
+}
+
+// SkippedFiles lists the header-less segment files open tolerated.
+func (r *Reader) SkippedFiles() []string {
+	return append([]string(nil), r.skipped...)
+}
 
 // Segments lists the archive's segments in id (write) order.
 func (r *Reader) Segments() []SegmentInfo {
@@ -180,6 +213,7 @@ func (r *Reader) Scan(q Query, fn func(collect.TraceTuple) bool) (ScanStats, err
 	for _, s := range r.segs {
 		if s.Index.empty() || !s.Index.overlapECIDs(q.ECIDs) || !s.Index.overlapStamps(q.MinStamp, q.MaxStamp) {
 			stats.SegmentsSkipped++
+			stats.BytesSkipped += uint64(s.Bytes)
 			continue
 		}
 		buf, err := os.ReadFile(s.Path)
@@ -187,24 +221,26 @@ func (r *Reader) Scan(q Query, fn func(collect.TraceTuple) bool) (ScanStats, err
 			return stats, fmt.Errorf("archive: %v", err)
 		}
 		bytes += len(buf)
+		stats.BytesScanned += uint64(len(buf))
 		h, err := decodeHeader(buf)
 		if err != nil {
 			return stats, fmt.Errorf("archive: segment %s: %v", s.Path, err)
 		}
 		stats.SegmentsScanned++
-		if scanBlocks(buf, h.Version, &q, &dec, &stats, fn) {
+		if scanBlocks(buf, segmentHeaderSize, h.Version, &q, &dec, &stats, fn) {
 			return stats, nil
 		}
 	}
 	return stats, nil
 }
 
-// scanBlocks walks one segment image block by block, skipping columnar
-// blocks the query cannot match, and streams decoded tuples through fn.
-// It reports whether fn stopped the scan. A torn tail ends the walk and
-// is counted, matching the recovery semantics of scanSegment.
-func scanBlocks(buf []byte, version uint16, q *Query, dec *blockDecoder, stats *ScanStats, fn func(collect.TraceTuple) bool) (stopped bool) {
-	off := int64(segmentHeaderSize)
+// scanBlocks walks one segment image block by block from byte offset
+// off (segmentHeaderSize for a whole-segment walk; past it when a
+// cursor scan already skipped a prefix), skipping columnar blocks the
+// query cannot match, and streams decoded tuples through fn. It reports
+// whether fn stopped the scan. A torn tail ends the walk and is
+// counted, matching the recovery semantics of scanSegment.
+func scanBlocks(buf []byte, off int64, version uint16, q *Query, dec *blockDecoder, stats *ScanStats, fn func(collect.TraceTuple) bool) (stopped bool) {
 	for {
 		rest := buf[off:]
 		if len(rest) == 0 {

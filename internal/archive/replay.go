@@ -78,6 +78,18 @@ func statsPorts(infos []CollectorInfo) (map[uint32]monitor.ReplayStatsPort, erro
 	return ports, nil
 }
 
+// LastArrivalPorts exposes the load-balance replay wiring derivation
+// for callers that drive the replay shadows themselves (the recovery
+// checkpointer and the checkpointed failover path).
+func LastArrivalPorts(infos []CollectorInfo) (map[uint32]monitor.ReplayPort, error) {
+	return lastArrivalPorts(infos)
+}
+
+// StatsPorts exposes the statistics replay wiring derivation.
+func StatsPorts(infos []CollectorInfo) (map[uint32]monitor.ReplayStatsPort, error) {
+	return statsPorts(infos)
+}
+
 // ReplayLastArrival scans the archive and re-runs the load-balance
 // monitor's last-arrival reduction offline. infos is the archived
 // collector metadata (ReadMeta, or MetaFromRegistry against a live

@@ -79,6 +79,11 @@ type Writer struct {
 	stats    WriterStats
 	writeErr error // first unrecoverable file-system error, sticky
 
+	// baseTuples counts the durable tuples already on disk when the
+	// directory was (re)opened, so Position can report a cursor in
+	// directory-lifetime tuple coordinates across crash-restart cycles.
+	baseTuples uint64
+
 	opWrite *metrics.Op
 	cRot    *metrics.Counter
 	cRet    *metrics.Counter
@@ -135,6 +140,32 @@ func listSegments(dir string) ([]writerSegment, error) {
 	return segs, nil
 }
 
+// segmentTuples returns the tuple count a segment file holds: the
+// header index for sealed segments, a block scan for unsealed ones. A
+// file without a valid header counts zero, matching the reader, which
+// skips such files.
+func segmentTuples(path string) (uint64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("archive: %v", err)
+	}
+	if len(buf) < segmentHeaderSize {
+		return 0, nil
+	}
+	hdr, err := decodeHeader(buf)
+	if err != nil {
+		return 0, nil
+	}
+	if hdr.Sealed {
+		return hdr.Index.Tuples, nil
+	}
+	res, err := scanSegment(buf)
+	if err != nil {
+		return 0, nil
+	}
+	return res.Index.Tuples, nil
+}
+
 // reopen restores the writer's state from the directory: older segments
 // count toward retention, and the newest is validated, truncated past
 // its last intact block, and either continued (unsealed) or sealed off.
@@ -147,6 +178,16 @@ func (w *Writer) reopen() error {
 	for _, s := range segs {
 		w.total += s.size
 		nextID = s.id + 1
+	}
+	// Older segments contribute their recorded tuple counts to the
+	// directory-lifetime cursor basis; the newest is counted below from
+	// its recovered index, after torn-tail repair.
+	for _, s := range segs[:max(len(segs)-1, 0)] {
+		n, err := segmentTuples(s.path)
+		if err != nil {
+			return err
+		}
+		w.baseTuples += n
 	}
 	if len(segs) > 0 {
 		last := segs[len(segs)-1]
@@ -179,6 +220,7 @@ func (w *Writer) reopen() error {
 			w.cTrunc.Inc()
 			fallthrough
 		default:
+			w.baseTuples += res.Index.Tuples
 			if !res.Header.Sealed && res.Header.Version == w.version {
 				// Continue appending where the previous run stopped.
 				f, err := os.OpenFile(last.path, os.O_RDWR, 0o644)
@@ -325,6 +367,16 @@ func (w *Writer) flushLocked(n int) error {
 		buf = encodeRowBlockInto(w.rowBuf[:0], batch)
 		w.rowBuf = buf
 	}
+	if frac, fire := w.opts.CrashPoints.hit(CrashBlockFlush); fire {
+		// Persist only a torn prefix of the block and die: the index,
+		// stats and pending buffer are untouched, exactly as a power cut
+		// mid-write would leave them.
+		if keep := tearLen(len(buf), frac); keep > 0 {
+			w.f.Write(buf[:keep])
+		}
+		w.writeErr = ErrInjectedCrash
+		return w.writeErr
+	}
 	start := hrtime.Now()
 	_, err := w.f.Write(buf)
 	w.opWrite.Record(hrtime.Since(start), len(buf), err)
@@ -350,6 +402,17 @@ func (w *Writer) flushLocked(n int) error {
 
 // sealLocked finalizes the active segment's header in place.
 func (w *Writer) sealLocked() error {
+	if _, fire := w.opts.CrashPoints.hit(CrashSeal); fire {
+		// Die before the header rewrite: the segment keeps its valid
+		// provisional (unsealed) header and every flushed block. The
+		// 64-byte in-place rewrite itself is modelled as atomic — it
+		// fits one sector — so the only crash states around sealing are
+		// "still unsealed" (here) and "sealed" (after).
+		w.f.Close()
+		w.f = nil
+		w.writeErr = ErrInjectedCrash
+		return w.writeErr
+	}
 	hdr := encodeHeader(segmentHeader{ID: w.active.id, Version: w.version, Sealed: true, Index: w.index})
 	if _, err := w.f.WriteAt(hdr, 0); err != nil {
 		w.writeErr = fmt.Errorf("archive: sealing segment %d: %v", w.active.id, err)
@@ -372,6 +435,17 @@ func (w *Writer) rotateLocked() error {
 	w.sealed = append(w.sealed, w.active)
 	w.stats.Rotations++
 	w.cRot.Inc()
+	if _, fire := w.opts.CrashPoints.hit(CrashRotate); fire {
+		// Die between sealing the old segment and writing the new one's
+		// header, leaving the header-less empty file a real crash at
+		// this instant leaves; reopen drops it and reuses the id.
+		if f, err := os.OpenFile(filepath.Join(w.opts.Dir, segmentFileName(w.active.id+1)),
+			os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644); err == nil {
+			f.Close()
+		}
+		w.writeErr = ErrInjectedCrash
+		return w.writeErr
+	}
 	if err := w.newSegment(w.active.id + 1); err != nil {
 		w.writeErr = err
 		return err
@@ -442,13 +516,37 @@ func (w *Writer) Close() error {
 		return w.writeErr
 	}
 	if err := w.flushLocked(0); err != nil {
+		if w.f != nil {
+			w.f.Close()
+			w.f = nil
+		}
 		return err
 	}
 	if err := w.sealLocked(); err != nil {
+		if w.f != nil {
+			w.f.Close()
+			w.f = nil
+		}
 		return err
 	}
 	w.sealed = append(w.sealed, w.active)
 	return nil
+}
+
+// Position returns the writer's current durable cursor: the tuples
+// already persisted to disk, in directory-lifetime coordinates. Tuples
+// still buffered in a partial block are NOT covered — call Flush first
+// when the cursor must cover everything appended so far. A checkpoint
+// stamped with this cursor owns exactly the archive prefix before it;
+// Reader.ScanFrom replays the suffix after it.
+func (w *Writer) Position() Cursor {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Cursor{
+		Tuples:    w.baseTuples + w.stats.TuplesWritten,
+		Segment:   w.active.id,
+		SegTuples: w.index.Tuples,
+	}
 }
 
 // Stats snapshots the writer's activity counters.

@@ -1,0 +1,126 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"eventspace/internal/archive"
+)
+
+// FilePattern matches checkpoint sidecar files in an archive directory.
+const FilePattern = "ckpt-*.eckpt"
+
+// FileName names checkpoint seq's sidecar file.
+func FileName(seq uint32) string { return fmt.Sprintf("ckpt-%08d.eckpt", seq) }
+
+// Entry is one file of a checkpoint chain, as listed on disk. Listing
+// does not validate contents — Load does.
+type Entry struct {
+	Seq  uint32
+	Path string
+	Size int64
+}
+
+// List returns the directory's checkpoint chain, oldest first. Files
+// whose names do not parse are ignored (they are not chain members).
+func List(dir string) ([]Entry, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, FilePattern))
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, p := range paths {
+		var seq uint32
+		if _, err := fmt.Sscanf(filepath.Base(p), "ckpt-%d.eckpt", &seq); err != nil {
+			continue
+		}
+		fi, err := os.Stat(p)
+		if err != nil {
+			continue
+		}
+		out = append(out, Entry{Seq: seq, Path: p, Size: fi.Size()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// Load reads and validates one chain entry.
+func Load(path string) (Checkpoint, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	return Decode(buf)
+}
+
+// ChainInfo summarizes a LoadNewest walk for diagnostics: how long the
+// on-disk chain is and how many entries had to be skipped as torn or
+// corrupt before one validated.
+type ChainInfo struct {
+	Entries int      // chain files on disk
+	Skipped int      // newest-first entries rejected before the winner
+	Bad     []string // paths of the rejected entries
+}
+
+// LoadNewest walks the chain newest-first and returns the first
+// checkpoint that validates. Torn and CRC-corrupt entries are skipped —
+// recorded in ChainInfo, never trusted. ok is false when no entry
+// validates (recovery then falls back to full replay).
+func LoadNewest(dir string) (Checkpoint, ChainInfo, bool) {
+	entries, err := List(dir)
+	info := ChainInfo{Entries: len(entries)}
+	if err != nil || len(entries) == 0 {
+		return Checkpoint{}, info, false
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		cp, err := Load(entries[i].Path)
+		if err != nil {
+			info.Skipped++
+			info.Bad = append(info.Bad, entries[i].Path)
+			continue
+		}
+		return cp, info, true
+	}
+	return Checkpoint{}, info, false
+}
+
+// write persists one checkpoint frame through the crash seam: an armed
+// CrashCheckpoint site tears the write mid-frame, leaving a file whose
+// CRC cannot validate — exactly the torn state LoadNewest must skip.
+func write(dir string, cp Checkpoint, cps *archive.CrashPoints) (int, error) {
+	buf := Encode(cp)
+	f, err := os.OpenFile(filepath.Join(dir, FileName(cp.Seq)), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	crashed, werr := cps.TornWrite(archive.CrashCheckpoint, f, buf)
+	cerr := f.Close()
+	if werr != nil {
+		return len(buf), werr
+	}
+	if crashed {
+		return len(buf), archive.ErrInjectedCrash
+	}
+	return len(buf), cerr
+}
+
+// prune deletes chain entries beyond the newest keep. Deleting oldest
+// first keeps the fallback ladder intact if pruning itself is cut short.
+func prune(dir string, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	entries, err := List(dir)
+	if err != nil {
+		return err
+	}
+	var first error
+	for i := 0; i < len(entries)-keep; i++ {
+		if err := os.Remove(entries[i].Path); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

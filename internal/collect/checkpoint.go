@@ -1,0 +1,52 @@
+// Checkpoint control tuples. When the recovery checkpointer
+// (internal/checkpoint) persists a monitor-state snapshot, it appends a
+// marker control tuple into the archive stream on the reserved
+// collector id 0, exactly like degradation-mode transitions (modes.go)
+// and continuous-query alerts (alert.go). The marker carries the
+// checkpoint's chain sequence and the archive cursor it covers, so
+// offline tooling can see where bounded-time recovery may begin without
+// opening the sidecar chain. Markers are ignored by every replay join —
+// like all control tuples — so archives with and without checkpoints
+// replay byte-identically.
+package collect
+
+import (
+	"eventspace/internal/hrtime"
+	"eventspace/internal/paths"
+)
+
+// CheckpointMark is a decoded checkpoint marker: the checkpoint's chain
+// sequence number, the count of durable tuples the checkpoint covers
+// (its archive cursor), and the stamp of the newest data tuple folded
+// into the snapshot.
+type CheckpointMark struct {
+	Seq    uint32
+	Tuples uint64
+	At     hrtime.Stamp
+}
+
+// EncodeCheckpointMark packs a marker into the standard 28-byte tuple
+// layout: ECID 0, Op OpCheckpoint, the chain sequence in Seq, the
+// snapshot stamp in Start and the covered tuple count in End.
+func EncodeCheckpointMark(m CheckpointMark) TraceTuple {
+	return TraceTuple{
+		ECID:  ControlECID,
+		Op:    paths.OpCheckpoint,
+		Seq:   m.Seq,
+		Start: m.At,
+		End:   hrtime.Stamp(m.Tuples),
+	}
+}
+
+// DecodeCheckpointMark unpacks a marker from a trace tuple, reporting
+// false for data tuples and non-checkpoint control tuples.
+func DecodeCheckpointMark(t TraceTuple) (CheckpointMark, bool) {
+	if t.ECID != ControlECID || t.Op != paths.OpCheckpoint {
+		return CheckpointMark{}, false
+	}
+	return CheckpointMark{
+		Seq:    t.Seq,
+		Tuples: uint64(t.End),
+		At:     t.Start,
+	}, true
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"eventspace/internal/archive"
+	"eventspace/internal/checkpoint"
 	"eventspace/internal/cluster"
 	"eventspace/internal/collect"
 	"eventspace/internal/cosched"
@@ -187,6 +188,39 @@ func (s *System) FailoverLoadBalance(tree *cluster.Tree, cfg monitor.Config, dir
 	return lb, st, nil
 }
 
+// RecoverLoadBalance is FailoverLoadBalance for a crashed front end:
+// the dead monitor's state is rebuilt through the checkpoint recovery
+// ladder (reconfig.RecoverFrontEnd) — newest valid checkpoint plus
+// archive suffix, falling back to full replay when the chain is torn —
+// and a replacement single-scope monitor is seeded from it. alerts,
+// when given, must be the crashed recorder's standing statements; the
+// returned state then carries the recovered query-engine snapshot for
+// ResumeArchiveFrom. Unlike the clean-seal path, the replacement
+// re-reads the retained trace windows (the crash left a gather gap),
+// with the resume floors blocking any double count.
+func (s *System) RecoverLoadBalance(tree *cluster.Tree, cfg monitor.Config, dir string, alerts ...string) (*monitor.LoadBalance, *reconfig.FailoverState, error) {
+	stmts, err := parseAlerts(alerts)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := reconfig.RecoverFrontEnd(dir, s.Metrics(), stmts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = s.Metrics()
+	}
+	lb, err := monitor.NewLoadBalanceFrom(s.tb, tree, monitor.SingleScope, cfg, s.cs, st.Resume)
+	if err != nil {
+		return nil, nil, err
+	}
+	lb.Start()
+	s.mu.Lock()
+	s.monitors = append(s.monitors, lb)
+	s.mu.Unlock()
+	return lb, st, nil
+}
+
 // FailoverStatsm is FailoverLoadBalance's statistics counterpart: a
 // replacement statistics monitor whose published analysis tree starts
 // from the archive-replayed snapshot in st.
@@ -223,6 +257,7 @@ type ArchiveRecorder struct {
 	// sink, so standing queries see every tuple the archive records.
 	sink   escope.RawSink
 	engine *query.Engine
+	ckpt   *checkpoint.Checkpointer
 
 	stopOnce sync.Once
 	stopErr  error
@@ -234,7 +269,7 @@ type ArchiveRecorder struct {
 // and a puller drains every event collector's trace buffer into the
 // archive every pull interval (0 pulls continuously).
 func (s *System) AttachArchive(tree *cluster.Tree, pull time.Duration, opts archive.Options) (*ArchiveRecorder, error) {
-	return s.attachArchive(tree, pull, opts, false, nil)
+	return s.attachArchive(tree, pull, opts, recorderSpec{})
 }
 
 // AttachArchiveQueries is AttachArchive with standing continuous
@@ -246,6 +281,31 @@ func (s *System) AttachArchive(tree *cluster.Tree, pull time.Duration, opts arch
 // (query.Replay, esquery replay -alerts) regenerates the identical
 // stream. The engine's coverage() roster is the tree's collector set.
 func (s *System) AttachArchiveQueries(tree *cluster.Tree, pull time.Duration, opts archive.Options, alerts ...string) (*ArchiveRecorder, error) {
+	stmts, err := parseAlerts(alerts)
+	if err != nil {
+		return nil, err
+	}
+	return s.attachArchive(tree, pull, opts, recorderSpec{stmts: stmts})
+}
+
+// AttachArchiveCheckpointed is AttachArchive (or, with alert statements,
+// AttachArchiveQueries) plus crash recoverability: a checkpointer rides
+// the recorder's sink chain, periodically snapshotting the front-end
+// state the archive implies — the load-balance and statistics replay
+// shadows, the writer's durable cursor, and the standing-query engine —
+// into a sidecar chain of ckpt-*.eckpt files next to the segments.
+// After a crash, RecoverLoadBalance (or reconfig.RecoverFrontEnd)
+// restores from the newest valid checkpoint and replays only the
+// archive suffix behind it, instead of the whole archive.
+func (s *System) AttachArchiveCheckpointed(tree *cluster.Tree, pull time.Duration, opts archive.Options, ckpt checkpoint.Config, alerts ...string) (*ArchiveRecorder, error) {
+	stmts, err := parseAlerts(alerts)
+	if err != nil {
+		return nil, err
+	}
+	return s.attachArchive(tree, pull, opts, recorderSpec{stmts: stmts, ckpt: &ckpt})
+}
+
+func parseAlerts(alerts []string) ([]*query.Stmt, error) {
 	stmts := make([]*query.Stmt, 0, len(alerts))
 	for _, src := range alerts {
 		st, err := query.Parse(src)
@@ -257,7 +317,7 @@ func (s *System) AttachArchiveQueries(tree *cluster.Tree, pull time.Duration, op
 		}
 		stmts = append(stmts, st)
 	}
-	return s.attachArchive(tree, pull, opts, false, stmts)
+	return stmts, nil
 }
 
 // ResumeArchive is AttachArchive for the recorder that continues after a
@@ -267,10 +327,49 @@ func (s *System) AttachArchiveQueries(tree *cluster.Tree, pull time.Duration, op
 // sealed and resumed archives in sequence then covers the whole run with
 // no duplicates.
 func (s *System) ResumeArchive(tree *cluster.Tree, pull time.Duration, opts archive.Options) (*ArchiveRecorder, error) {
-	return s.attachArchive(tree, pull, opts, true, nil)
+	return s.attachArchive(tree, pull, opts, recorderSpec{fromEnd: true})
 }
 
-func (s *System) attachArchive(tree *cluster.Tree, pull time.Duration, opts archive.Options, fromEnd bool, stmts []*query.Stmt) (*ArchiveRecorder, error) {
+// ResumeArchiveFrom is ResumeArchive seeded from a recovery handoff: the
+// resumed recorder continues a crashed (or sealed) recorder's run. Its
+// source cursors follow the handoff — after a checkpointed crash
+// recovery (Resume.ReRead) the retained trace windows are re-read so the
+// gather gap the crash opened is re-archived; after a clean-seal
+// failover they start at the windows' ends as ResumeArchive does. With
+// alert statements, the new engine is restored from the handoff's
+// recovered engine state, so alert streaks continue mid-streak instead
+// of restarting cold. ckpt, when non-nil, checkpoints the resumed
+// recorder too.
+func (s *System) ResumeArchiveFrom(tree *cluster.Tree, pull time.Duration, opts archive.Options, st *reconfig.FailoverState, ckpt *checkpoint.Config, alerts ...string) (*ArchiveRecorder, error) {
+	if st == nil || st.Resume == nil {
+		return nil, fmt.Errorf("core: nil failover state")
+	}
+	stmts, err := parseAlerts(alerts)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 && st.Engine != nil {
+		return nil, fmt.Errorf("core: recovered engine state but no alert statements to restore it into")
+	}
+	return s.attachArchive(tree, pull, opts, recorderSpec{
+		fromEnd: !st.Resume.ReRead,
+		stmts:   stmts,
+		engine:  st.Engine,
+		ckpt:    ckpt,
+	})
+}
+
+// recorderSpec collects attachArchive's variants: failover resume
+// (fromEnd), standing queries (stmts), a recovered engine snapshot to
+// restore into them (engine), and checkpointing (ckpt).
+type recorderSpec struct {
+	fromEnd bool
+	stmts   []*query.Stmt
+	engine  *query.EngineState
+	ckpt    *checkpoint.Config
+}
+
+func (s *System) attachArchive(tree *cluster.Tree, pull time.Duration, opts archive.Options, spec recorderSpec) (*ArchiveRecorder, error) {
 	if !tree.Spec.Instrument {
 		return nil, fmt.Errorf("core: archive recorder needs an instrumented tree")
 	}
@@ -281,40 +380,69 @@ func (s *System) attachArchive(tree *cluster.Tree, pull time.Duration, opts arch
 	if err != nil {
 		return nil, err
 	}
-	if err := archive.WriteMeta(opts.Dir, archive.MetaFromRegistry(tree.Collectors)); err != nil {
+	meta := archive.MetaFromRegistry(tree.Collectors)
+	if err := archive.WriteMeta(opts.Dir, meta); err != nil {
 		w.Close()
 		return nil, err
 	}
-	spec := escope.Spec{
+	escSpec := escope.Spec{
 		Name:     "archive/" + tree.Name,
 		FrontEnd: s.tb.FrontEnd,
 		Metrics:  opts.Metrics,
 	}
 	for _, ec := range tree.Collectors.All() {
-		spec.Sources = append(spec.Sources, escope.Source{
+		escSpec.Sources = append(escSpec.Sources, escope.Source{
 			Host: ec.Host(), Elem: ec.Buffer(), RecSize: collect.TupleSize,
-			FromEnd: fromEnd,
+			FromEnd: spec.fromEnd,
 		})
 	}
-	scope, err := escope.Build(s.tb.Net, spec)
+	scope, err := escope.Build(s.tb.Net, escSpec)
 	if err != nil {
 		w.Close()
 		return nil, err
 	}
 	rec := &ArchiveRecorder{scope: scope, writer: w, sink: w}
-	if len(stmts) > 0 {
+	fail := func(err error) (*ArchiveRecorder, error) {
+		scope.Close()
+		w.Close()
+		return nil, err
+	}
+	if len(spec.stmts) > 0 {
 		eng := query.NewEngine(w)
 		eng.SetExpected(len(tree.Collectors.All()))
 		eng.UseMetrics(opts.Metrics, tree.Name)
-		for _, st := range stmts {
+		for _, st := range spec.stmts {
 			if err := eng.Register(st); err != nil {
-				scope.Close()
-				w.Close()
-				return nil, err
+				return fail(err)
+			}
+		}
+		if spec.engine != nil {
+			if err := eng.Restore(*spec.engine); err != nil {
+				return fail(err)
 			}
 		}
 		rec.engine = eng
 		rec.sink = eng
+	}
+	if spec.ckpt != nil {
+		cfg := *spec.ckpt
+		if cfg.Metrics == nil {
+			cfg.Metrics = opts.Metrics
+		}
+		if cfg.CrashPoints == nil {
+			cfg.CrashPoints = opts.CrashPoints
+		}
+		// The checkpointer interposes at the head of the sink chain
+		// (puller -> checkpointer -> engine -> writer): it forwards each
+		// batch downstream first, then folds it into its shadows, so a
+		// snapshot taken at the writer's durable cursor has seen exactly
+		// the tuples the archive holds.
+		ck, err := checkpoint.New(w, rec.sink, rec.engine, meta, cfg)
+		if err != nil {
+			return fail(err)
+		}
+		rec.ckpt = ck
+		rec.sink = ck
 	}
 	rec.puller = scope.StartPuller(pull, escope.ArchiveSink(rec.sink))
 	s.mu.Lock()
@@ -356,6 +484,11 @@ func (r *ArchiveRecorder) Alerts() []collect.AlertTuple {
 // Puller exposes the recorder's gather thread, for accounting.
 func (r *ArchiveRecorder) Puller() *escope.Puller { return r.puller }
 
+// Checkpointer exposes the recorder's checkpointer (nil unless the
+// recorder was attached with AttachArchiveCheckpointed or resumed with
+// a checkpoint config).
+func (r *ArchiveRecorder) Checkpointer() *checkpoint.Checkpointer { return r.ckpt }
+
 // Stop halts the recorder: the gather thread is stopped, one final pull
 // drains what the buffers still hold, and the archive is sealed. It is
 // idempotent; later calls return the first stop's error.
@@ -381,6 +514,16 @@ func (r *ArchiveRecorder) Stop() {
 			}
 		})
 		<-done
+		if r.ckpt != nil {
+			// A final forced checkpoint right before the seal: recovery
+			// from a cleanly stopped archive then replays (almost) no
+			// suffix. An injected checkpoint crash surfaces here like any
+			// stop error; the seal still proceeds so the archive itself
+			// stays replayable.
+			if err := r.ckpt.Checkpoint(); err != nil && r.stopErr == nil {
+				r.stopErr = err
+			}
+		}
 		r.scope.Close()
 		if err := r.writer.Close(); err != nil && r.stopErr == nil {
 			r.stopErr = err

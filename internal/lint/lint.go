@@ -218,16 +218,17 @@ func walkStack(f *ast.File, fn func(n ast.Node, stack []ast.Node)) {
 // instrumentedPkgs are the packages whose code runs on the monitoring
 // hot path and must stay on modelled time. wallclock applies here.
 var instrumentedPkgs = map[string]bool{
-	"eventspace/internal/paths":    true,
-	"eventspace/internal/collect":  true,
-	"eventspace/internal/escope":   true,
-	"eventspace/internal/monitor":  true,
-	"eventspace/internal/metrics":  true,
-	"eventspace/internal/pastset":  true,
-	"eventspace/internal/archive":  true,
-	"eventspace/internal/reconfig": true,
-	"eventspace/internal/query":    true,
-	"eventspace/cmd/esquery":       true,
+	"eventspace/internal/paths":      true,
+	"eventspace/internal/collect":    true,
+	"eventspace/internal/escope":     true,
+	"eventspace/internal/monitor":    true,
+	"eventspace/internal/metrics":    true,
+	"eventspace/internal/pastset":    true,
+	"eventspace/internal/archive":    true,
+	"eventspace/internal/reconfig":   true,
+	"eventspace/internal/query":      true,
+	"eventspace/internal/checkpoint": true,
+	"eventspace/cmd/esquery":         true,
 }
 
 // nilSafePkgs are the packages whose exported pointer-receiver methods

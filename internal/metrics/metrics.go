@@ -69,6 +69,10 @@ const (
 	// evaluation: the time to ingest one gathered batch through every
 	// standing query, with bytes counting the batch payload.
 	KindQuery
+	// KindCheckpoint measures recovery-checkpoint writes: the time to
+	// snapshot and persist one monitor-state checkpoint, with bytes
+	// counting the encoded checkpoint frame.
+	KindCheckpoint
 	numKinds
 )
 
@@ -95,6 +99,8 @@ func (k Kind) String() string {
 		return "ingest"
 	case KindQuery:
 		return "query"
+	case KindCheckpoint:
+		return "checkpoint"
 	default:
 		return "kind(?)"
 	}

@@ -150,17 +150,18 @@ type lbNodeState struct {
 // cs may be nil (no coscheduling); when set, it must be the same set wired
 // into the tree's notifier.
 func NewLoadBalance(tb *cluster.Testbed, tree *cluster.Tree, mode LoadBalanceMode, cfg Config, cs *cosched.Set) (*LoadBalance, error) {
-	return newLoadBalance(tb, tree, mode, cfg, cs, nil)
+	return newLoadBalance(tb, tree, mode, cfg, cs, nil, false)
 }
 
 // newLoadBalance is the shared constructor; a non-nil floors map marks a
-// failover resume (readers from the end, joins floored per node).
-func newLoadBalance(tb *cluster.Testbed, tree *cluster.Tree, mode LoadBalanceMode, cfg Config, cs *cosched.Set, floors map[string]uint32) (*LoadBalance, error) {
+// failover resume (joins floored per node), and fromEnd additionally
+// starts the source readers after the newest retained tuple.
+func newLoadBalance(tb *cluster.Testbed, tree *cluster.Tree, mode LoadBalanceMode, cfg Config, cs *cosched.Set, floors map[string]uint32, fromEnd bool) (*LoadBalance, error) {
 	if !tree.Spec.Instrument {
 		return nil, fmt.Errorf("monitor: load balance needs an instrumented tree")
 	}
 	lb := &LoadBalance{
-		fromEnd:  floors != nil,
+		fromEnd:  fromEnd,
 		floors:   floors,
 		mode:     mode,
 		cfg:      cfg,
@@ -244,7 +245,11 @@ func NewLoadBalanceFrom(tb *cluster.Testbed, tree *cluster.Tree, mode LoadBalanc
 	if resume == nil {
 		return nil, fmt.Errorf("monitor: nil resume handoff")
 	}
-	lb, err := newLoadBalance(tb, tree, mode, cfg, cs, resume.Floors)
+	// Checkpointed recovery (ReRead) re-reads the retained windows from
+	// the start: the floors block every round the handoff already
+	// counted, so the only effect is closing the gather gap between the
+	// last archived tuple and the crash.
+	lb, err := newLoadBalance(tb, tree, mode, cfg, cs, resume.Floors, !resume.ReRead)
 	if err != nil {
 		return nil, err
 	}

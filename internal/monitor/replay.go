@@ -97,6 +97,14 @@ func (r *LastArrivalReplay) Weighted() *WeightedTree { return r.weighted }
 type LoadBalanceResume struct {
 	Weighted *WeightedTree
 	Floors   map[string]uint32 // node name -> highest completed Seq
+	// ReRead makes the replacement monitor's source readers start at the
+	// beginning of the retained trace windows instead of after the
+	// newest tuple. Checkpointed recovery sets it: tuples the dead
+	// front end gathered but the checkpoint+suffix already covers are
+	// blocked by the per-node floors (joins ignore Seq <= floor, and
+	// identical re-fed contributor tuples are idempotent), so re-reading
+	// closes the gather gap without double-counting a finished round.
+	ReRead bool
 }
 
 // Resume snapshots the replay into a handoff a replacement load-balance
@@ -154,8 +162,9 @@ type statsReplayNode struct {
 // streams (down, up, total, arrival wait, departure wait) in
 // microseconds.
 type StatsReplay struct {
-	ports map[uint32]ReplayStatsPort
-	nodes map[uint32]*statsReplayNode // keyed by NodeID
+	ports  map[uint32]ReplayStatsPort
+	nodes  map[uint32]*statsReplayNode // keyed by NodeID
+	window int                         // sliding-median window, kept for snapshots
 
 	fed     uint64
 	matched uint64
@@ -166,8 +175,9 @@ type StatsReplay struct {
 // analysis default).
 func NewStatsReplay(ports map[uint32]ReplayStatsPort, window int) (*StatsReplay, error) {
 	r := &StatsReplay{
-		ports: make(map[uint32]ReplayStatsPort, len(ports)),
-		nodes: make(map[uint32]*statsReplayNode),
+		ports:  make(map[uint32]ReplayStatsPort, len(ports)),
+		nodes:  make(map[uint32]*statsReplayNode),
+		window: window,
 	}
 	for id, p := range ports {
 		if p.Fanin < 1 {

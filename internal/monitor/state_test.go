@@ -1,0 +1,201 @@
+package monitor
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"eventspace/internal/analysis"
+	"eventspace/internal/collect"
+	"eventspace/internal/paths"
+)
+
+// replayStream fabricates a contributor tuple stream over two 3-fanin
+// nodes, shuffled within a small horizon so rounds interleave and some
+// are always pending mid-stream.
+func replayStream(t *testing.T, rounds int) (map[uint32]ReplayPort, map[uint32]ReplayStatsPort, []collect.TraceTuple) {
+	t.Helper()
+	// Node "a": contributor ECIDs 1,2,3 + collective 10.
+	// Node "b": contributor ECIDs 4,5,6 + collective 20.
+	lbPorts := map[uint32]ReplayPort{
+		1: {Node: "a", Contributor: 0, Fanin: 3},
+		2: {Node: "a", Contributor: 1, Fanin: 3},
+		3: {Node: "a", Contributor: 2, Fanin: 3},
+		4: {Node: "b", Contributor: 0, Fanin: 3},
+		5: {Node: "b", Contributor: 1, Fanin: 3},
+		6: {Node: "b", Contributor: 2, Fanin: 3},
+	}
+	statsPorts := map[uint32]ReplayStatsPort{
+		1: {NodeID: 10, Contributor: 0, Fanin: 3},
+		2: {NodeID: 10, Contributor: 1, Fanin: 3},
+		3: {NodeID: 10, Contributor: 2, Fanin: 3},
+		10: {NodeID: 10, Contributor: -1, Fanin: 3},
+		4: {NodeID: 20, Contributor: 0, Fanin: 3},
+		5: {NodeID: 20, Contributor: 1, Fanin: 3},
+		6: {NodeID: 20, Contributor: 2, Fanin: 3},
+		20: {NodeID: 20, Contributor: -1, Fanin: 3},
+	}
+	rng := rand.New(rand.NewSource(3))
+	var tuples []collect.TraceTuple
+	for seq := uint32(1); seq <= uint32(rounds); seq++ {
+		base := int64(10_000 + 1000*int64(seq))
+		for node, ecids := range map[uint32][]uint32{10: {1, 2, 3}, 20: {4, 5, 6}} {
+			tuples = append(tuples, collect.TraceTuple{
+				ECID: node, Op: paths.OpWrite, Seq: seq,
+				Start: base + 100, End: base + 200,
+			})
+			for i, id := range ecids {
+				jit := rng.Int63n(90)
+				tuples = append(tuples, collect.TraceTuple{
+					ECID: id, Op: paths.OpWrite, Seq: seq,
+					Start: base + jit + int64(i), End: base + 300 + jit,
+				})
+			}
+		}
+	}
+	rng.Shuffle(len(tuples), func(i, j int) {
+		if d := i - j; d < 10 && d > -10 {
+			tuples[i], tuples[j] = tuples[j], tuples[i]
+		}
+	})
+	return lbPorts, statsPorts, tuples
+}
+
+// TestLastArrivalReplaySplitEquivalence is the checkpoint contract for
+// the load-balance shadow: snapshot mid-stream, restore, feed the
+// suffix — the weighted tree, floors, and counters match a
+// straight-through replay exactly.
+func TestLastArrivalReplaySplitEquivalence(t *testing.T) {
+	ports, _, tuples := replayStream(t, 50)
+	for _, split := range []int{0, 13, 101, 250, len(tuples)} {
+		full, err := NewLastArrivalReplay(ports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tu := range tuples {
+			full.Feed(tu)
+		}
+
+		head, err := NewLastArrivalReplay(ports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tu := range tuples[:split] {
+			head.Feed(tu)
+		}
+		tail, err := NewLastArrivalReplayFrom(ports, head.State())
+		if err != nil {
+			t.Fatalf("split %d: %v", split, err)
+		}
+		for _, tu := range tuples[split:] {
+			tail.Feed(tu)
+		}
+
+		if !reflect.DeepEqual(tail.State(), full.State()) {
+			t.Fatalf("split %d: restored replay state diverged from straight-through", split)
+		}
+		fullRes, tailRes := full.Resume(), tail.Resume()
+		if !reflect.DeepEqual(tailRes.Floors, fullRes.Floors) {
+			t.Fatalf("split %d: floors %v, want %v", split, tailRes.Floors, fullRes.Floors)
+		}
+		if tail.Lost() != full.Lost() {
+			t.Fatalf("split %d: lost %d, want %d", split, tail.Lost(), full.Lost())
+		}
+	}
+}
+
+// TestStatsReplaySplitEquivalence is the same contract for the
+// statistics shadow: the reconstructed analysis tree and every counter
+// match a straight-through replay after any split.
+func TestStatsReplaySplitEquivalence(t *testing.T) {
+	_, ports, tuples := replayStream(t, 50)
+	for _, split := range []int{0, 27, 199, len(tuples)} {
+		full, err := NewStatsReplay(ports, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tu := range tuples {
+			full.Feed(tu)
+		}
+
+		head, err := NewStatsReplay(ports, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tu := range tuples[:split] {
+			head.Feed(tu)
+		}
+		tail, err := NewStatsReplayFrom(ports, head.State())
+		if err != nil {
+			t.Fatalf("split %d: %v", split, err)
+		}
+		for _, tu := range tuples[split:] {
+			tail.Feed(tu)
+		}
+
+		if !reflect.DeepEqual(tail.State(), full.State()) {
+			t.Fatalf("split %d: restored stats state diverged from straight-through", split)
+		}
+		if tail.RoundsAnalyzed() != full.RoundsAnalyzed() {
+			t.Fatalf("split %d: rounds %d, want %d", split, tail.RoundsAnalyzed(), full.RoundsAnalyzed())
+		}
+		fullTree, tailTree := full.Tree(), tail.Tree()
+		fullIDs, tailIDs := fullTree.IDs(), tailTree.IDs()
+		sort.Slice(fullIDs, func(i, j int) bool { return fullIDs[i] < fullIDs[j] })
+		sort.Slice(tailIDs, func(i, j int) bool { return tailIDs[i] < tailIDs[j] })
+		if !reflect.DeepEqual(tailIDs, fullIDs) {
+			t.Fatalf("split %d: tree ids %v, want %v", split, tailIDs, fullIDs)
+		}
+		kinds := []int{analysis.KindDown, analysis.KindUp, analysis.KindTotal, analysis.KindArrivalWait, analysis.KindDepartureWait}
+		for _, id := range fullIDs {
+			for _, kind := range kinds {
+				want, wok := fullTree.Get(id, kind)
+				got, gok := tailTree.Get(id, kind)
+				if gok != wok || got != want {
+					t.Fatalf("split %d: node %d %s = %+v, want %+v", split, id, analysis.KindName(kind), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestStateRestoreRejectsMismatchedPorts verifies a snapshot cannot be
+// applied against a different node roster — the fallback-to-full-replay
+// trigger in the recovery ladder.
+func TestStateRestoreRejectsMismatchedPorts(t *testing.T) {
+	ports, statsPorts, tuples := replayStream(t, 10)
+	rep, err := NewLastArrivalReplay(ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range tuples {
+		rep.Feed(tu)
+	}
+	st := rep.State()
+
+	other := map[uint32]ReplayPort{
+		1: {Node: "c", Contributor: 0, Fanin: 2},
+		2: {Node: "c", Contributor: 1, Fanin: 2},
+	}
+	if _, err := NewLastArrivalReplayFrom(other, st); err == nil {
+		t.Fatal("mismatched port roster accepted")
+	}
+
+	srep, err := NewStatsReplay(statsPorts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range tuples {
+		srep.Feed(tu)
+	}
+	sst := srep.State()
+	otherStats := map[uint32]ReplayStatsPort{
+		1: {NodeID: 30, Contributor: 0, Fanin: 3},
+		2: {NodeID: 30, Contributor: 1, Fanin: 3},
+		3: {NodeID: 30, Contributor: 2, Fanin: 3},
+	}
+	if _, err := NewStatsReplayFrom(otherStats, sst); err == nil {
+		t.Fatal("mismatched stats roster accepted")
+	}
+}

@@ -48,6 +48,13 @@ const (
 	// path as a request — replaying an archive regenerates the identical
 	// alert stream from the data tuples alone.
 	OpAlert
+	// OpCheckpoint marks a control tuple: a recovery checkpoint was
+	// written for the monitor state covering every tuple archived
+	// before it. The tuple records the checkpoint's chain sequence and
+	// archive cursor, so replay tooling can see where bounded-time
+	// recovery may begin; the state itself lives in the sidecar
+	// ckpt-*.eckpt chain next to the segments.
+	OpCheckpoint
 )
 
 // String returns the conventional name of the operation kind.
@@ -61,6 +68,8 @@ func (k OpKind) String() string {
 		return "mode"
 	case OpAlert:
 		return "alert"
+	case OpCheckpoint:
+		return "checkpoint"
 	default:
 		return fmt.Sprintf("op(%d)", uint16(k))
 	}

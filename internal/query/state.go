@@ -1,0 +1,141 @@
+// Snapshot/restore for the continuous-query engine. A checkpoint
+// captures everything a tick depends on — the retained tuple window,
+// the watermark, and each standing query's anchor, streak, and armed
+// flags — so a restored engine fed the archive suffix after the
+// checkpoint fires exactly the alerts the original engine would have,
+// resuming mid-streak. Snapshots are canonical: streaks are stored only
+// when nonzero and fired flags only when set, sorted by group, because
+// a zero/absent entry is behaviorally indistinguishable from a missing
+// one (judge treats absence as zero, and the silent-group sweep only
+// ever deletes).
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"eventspace/internal/archive"
+	"eventspace/internal/collect"
+	"eventspace/internal/hrtime"
+)
+
+// GroupStreak is one group's consecutive-true tick count.
+type GroupStreak struct {
+	Group uint16
+	Count int32
+}
+
+// StandingState is one standing query's trigger state. Hash identifies
+// the statement; restore refuses a state whose statements do not match
+// the engine's, in order.
+type StandingState struct {
+	Hash     uint64
+	Anchored bool
+	LastTick hrtime.Stamp
+	Streak   []GroupStreak // nonzero streaks, sorted by group
+	Fired    []uint16      // groups with fired=true, sorted
+}
+
+// EngineState is an Engine's portable snapshot.
+type EngineState struct {
+	Expected  int
+	Watermark hrtime.Stamp
+	Seq       uint32
+	Buf       []collect.TraceTuple // retained data tuples, arrival order
+	Alerts    []collect.AlertTuple // alerts fired so far, firing order
+	Queries   []StandingState      // registration order
+}
+
+// State snapshots the engine.
+func (e *Engine) State() EngineState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := EngineState{Expected: e.expected, Watermark: e.watermark, Seq: e.seq}
+	st.Buf = append(st.Buf, e.buf...)
+	st.Alerts = append(st.Alerts, e.alerts...)
+	for _, q := range e.queries {
+		qs := StandingState{Hash: q.hash, Anchored: q.anchored, LastTick: q.lastTick}
+		groups := make([]uint16, 0, len(q.streak))
+		for g, n := range q.streak {
+			if n != 0 {
+				groups = append(groups, g)
+			}
+		}
+		sort.Slice(groups, func(i, j int) bool { return groups[i] < groups[j] })
+		for _, g := range groups {
+			qs.Streak = append(qs.Streak, GroupStreak{Group: g, Count: int32(q.streak[g])})
+		}
+		for g, f := range q.fired {
+			if f {
+				qs.Fired = append(qs.Fired, g)
+			}
+		}
+		sort.Slice(qs.Fired, func(i, j int) bool { return qs.Fired[i] < qs.Fired[j] })
+		st.Queries = append(st.Queries, qs)
+	}
+	return st
+}
+
+// Restore overwrites the engine's evaluation state from a snapshot. The
+// engine must already have the same standing statements registered in
+// the same order — matched by statement hash — so the snapshot cannot
+// be applied to a differently-configured engine.
+func (e *Engine) Restore(st EngineState) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(st.Queries) != len(e.queries) {
+		return fmt.Errorf("query: state holds %d standing queries, engine has %d", len(st.Queries), len(e.queries))
+	}
+	for i, qs := range st.Queries {
+		if qs.Hash != e.queries[i].hash {
+			return fmt.Errorf("query: state query %d hash %#x does not match engine's %#x", i, qs.Hash, e.queries[i].hash)
+		}
+	}
+	e.expected = st.Expected
+	e.watermark = st.Watermark
+	e.seq = st.Seq
+	e.buf = append(e.buf[:0], st.Buf...)
+	e.alerts = append(e.alerts[:0], st.Alerts...)
+	for i, qs := range st.Queries {
+		q := e.queries[i]
+		q.anchored = qs.Anchored
+		q.lastTick = qs.LastTick
+		q.streak = make(map[uint16]int, len(qs.Streak))
+		for _, gs := range qs.Streak {
+			q.streak[gs.Group] = int(gs.Count)
+		}
+		q.fired = make(map[uint16]bool, len(qs.Fired))
+		for _, g := range qs.Fired {
+			q.fired[g] = true
+		}
+	}
+	return nil
+}
+
+// ReplayFrom regenerates the alert stream from a checkpointed engine
+// state plus the archive suffix after cur — the fast path equivalent of
+// Replay over the whole archive. stmts must be the same statements, in
+// the same order, that produced the state.
+func ReplayFrom(r *archive.Reader, cur archive.Cursor, stmts []*Stmt, st EngineState) ([]collect.AlertTuple, error) {
+	e := NewEngine(nil)
+	for _, s := range stmts {
+		if err := e.Register(s); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.Restore(st); err != nil {
+		return nil, err
+	}
+	var offerErr error
+	_, err := r.ScanFrom(cur, archive.Query{}, func(t collect.TraceTuple) bool {
+		if err := e.Offer(t); err != nil {
+			offerErr = err
+			return false
+		}
+		return true
+	})
+	if err == nil {
+		err = offerErr
+	}
+	return e.Alerts(), err
+}
